@@ -1,0 +1,59 @@
+"""E9 — C pointer traversal (paper, Section 1 "C array references").
+
+Pointers i, j walking array d become integer indices; normalization
+produces d(i+10*j) vs d(i+10*j+5); delinearization proves independence.
+"""
+
+from repro import (
+    Verdict,
+    analyze_dependences,
+    convert_pointers,
+    delinearize,
+    format_program,
+    normalize_program,
+    parse_c,
+    rectangular_bounds,
+)
+from repro.analysis import build_pair_problem
+from repro.ir import collect_refs
+
+from .workloads import C_POINTER_SOURCE
+
+
+def pipeline_program():
+    program, info = parse_c(C_POINTER_SOURCE)
+    return normalize_program(convert_pointers(program, info))
+
+
+def test_normalized_form_matches_paper():
+    text = format_program(pipeline_program())
+    assert "d(i+10*j) = d(i+10*j+5)" in text
+
+
+def test_independence_proven():
+    program = pipeline_program()
+    refs = collect_refs(program, "d")
+    problem = build_pair_problem(
+        refs[0], refs[1], rectangular_bounds(program)
+    ).problem
+    assert delinearize(problem).verdict is Verdict.INDEPENDENT
+
+
+def test_no_dependence_edges():
+    graph = analyze_dependences(pipeline_program(), normalized=True)
+    assert graph.edges == []
+
+
+def test_bench_full_c_pipeline(benchmark):
+    def pipeline():
+        program, info = parse_c(C_POINTER_SOURCE)
+        converted = normalize_program(convert_pointers(program, info))
+        return analyze_dependences(converted, normalized=True)
+
+    graph = benchmark(pipeline)
+    assert graph.edges == []
+
+
+def test_bench_pointer_conversion_only(benchmark):
+    program, info = parse_c(C_POINTER_SOURCE)
+    benchmark(convert_pointers, program, info)

@@ -1,0 +1,98 @@
+"""E7 — efficiency: delinearization is O(n) and beats solving the
+linearized equation.
+
+The paper claims linear time in the number of variables and that "the time
+needed to perform the algorithm is significantly less than the time needed
+to solve [the] linearized equation ... The precision gains of
+delinearization are therefore almost free."
+
+We time delinearization against Fourier-Motzkin (the technique able to
+match its verdicts when tightened) on linearized chain equations of
+growing width, plus exhaustive enumeration on the smallest sizes.  The
+*shape* to reproduce: delinearization grows linearly and stays well below
+FM, whose constraint blow-up grows much faster.
+"""
+
+import time
+
+import pytest
+
+from repro import Verdict, delinearize
+from repro.deptests import exhaustive_test, fourier_motzkin_test
+
+from .workloads import linearized_chain
+
+SIZES = (2, 4, 8, 12, 16, 24)
+
+
+@pytest.mark.parametrize("pairs", SIZES)
+def test_bench_delinearization(benchmark, pairs):
+    problem = linearized_chain(pairs, seed=pairs)
+    result = benchmark(delinearize, problem)
+    assert result.verdict in (
+        Verdict.INDEPENDENT,
+        Verdict.DEPENDENT,
+        Verdict.MAYBE,
+    )
+
+
+@pytest.mark.parametrize("pairs", SIZES)
+def test_bench_fourier_motzkin(benchmark, pairs):
+    problem = linearized_chain(pairs, seed=pairs)
+    benchmark(fourier_motzkin_test, problem, True)
+
+
+@pytest.mark.parametrize("pairs", (2, 3))
+def test_bench_exhaustive(benchmark, pairs):
+    problem = linearized_chain(pairs, seed=pairs)
+    benchmark(exhaustive_test, problem)
+
+
+def test_verdicts_agree_with_ground_truth():
+    for pairs in (2, 3):
+        for seed in range(12):
+            problem = linearized_chain(pairs, seed=seed)
+            truth = exhaustive_test(problem)
+            verdict = delinearize(problem).verdict
+            if verdict is not Verdict.MAYBE:
+                assert verdict is truth, (pairs, seed)
+
+
+def test_delinearization_is_exact_on_chains():
+    """On pure linearized chains the algorithm should always decide."""
+    decided = 0
+    total = 0
+    for pairs in (2, 4, 6, 8):
+        for seed in range(10):
+            total += 1
+            verdict = delinearize(linearized_chain(pairs, seed=seed)).verdict
+            if verdict is not Verdict.MAYBE:
+                decided += 1
+    assert decided == total
+
+
+def test_print_scaling_table(capsys):
+    rows = []
+    for pairs in SIZES:
+        problem = linearized_chain(pairs, seed=pairs)
+        reps = 20
+        start = time.perf_counter()
+        for _ in range(reps):
+            delinearize(problem)
+        delin = (time.perf_counter() - start) / reps
+        start = time.perf_counter()
+        for _ in range(reps):
+            fourier_motzkin_test(problem, tighten=True)
+        fm = (time.perf_counter() - start) / reps
+        rows.append((pairs, delin, fm))
+    with capsys.disabled():
+        print()
+        print("E7: scaling (seconds per call)")
+        print(f"{'vars':>5s} {'delinearization':>16s} {'FM+tighten':>12s} {'ratio':>7s}")
+        for pairs, delin, fm in rows:
+            print(
+                f"{2 * pairs:5d} {delin:16.6f} {fm:12.6f} {fm / delin:7.1f}x"
+            )
+    # Shape assertions: delinearization stays cheap; FM blows up by the
+    # largest size (who-wins shape, not absolute numbers).
+    assert rows[-1][2] > rows[-1][1]

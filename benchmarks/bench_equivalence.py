@@ -1,0 +1,64 @@
+"""E8 — EQUIVALENCE aliasing (paper, Section 1 "Array aliasing").
+
+A(0:9,0:9) and B(0:4,0:19) share storage; after linearization the pair
+becomes C(i+10*j) vs C(i+10*j+5) and delinearization proves independence.
+"""
+
+from repro import (
+    Verdict,
+    analyze_dependences,
+    delinearize,
+    linearize_program,
+    normalize_program,
+    parse_fortran,
+    rectangular_bounds,
+)
+from repro.analysis import build_pair_problem
+from repro.deptests import exhaustive_test
+from repro.ir import collect_refs
+
+from .workloads import EQUIVALENCE_SOURCE
+
+
+def linearized_problem():
+    program = normalize_program(
+        linearize_program(parse_fortran(EQUIVALENCE_SOURCE))
+    )
+    refs = collect_refs(program, "_stor1")
+    return build_pair_problem(
+        refs[0], refs[1], rectangular_bounds(program)
+    ).problem
+
+
+def test_linearized_form_matches_paper():
+    problem = linearized_problem()
+    (equation,) = problem.equations
+    coeffs = {n: c.as_int() for n, c in equation.coeffs.items()}
+    assert coeffs == {"i#1": 1, "j#1": 10, "i#2": -1, "j#2": -10}
+    assert equation.const.as_int() == -5
+
+
+def test_independence_proven():
+    problem = linearized_problem()
+    assert exhaustive_test(problem) is Verdict.INDEPENDENT
+    assert delinearize(problem).verdict is Verdict.INDEPENDENT
+
+
+def test_no_dependence_edges_in_graph():
+    program = linearize_program(parse_fortran(EQUIVALENCE_SOURCE))
+    graph = analyze_dependences(program)
+    assert graph.edges == []
+
+
+def test_bench_full_equivalence_pipeline(benchmark):
+    def pipeline():
+        program = linearize_program(parse_fortran(EQUIVALENCE_SOURCE))
+        return analyze_dependences(program)
+
+    graph = benchmark(pipeline)
+    assert graph.edges == []
+
+
+def test_bench_linearization_only(benchmark):
+    program = parse_fortran(EQUIVALENCE_SOURCE)
+    benchmark(linearize_program, program)

@@ -1,0 +1,65 @@
+"""E10 — multi-loop induction variables (paper, Section 1, BOAST).
+
+Recognizing that IB is controlled by three loops and substituting
+K + J*KK + I*KK*JJ lets the B assignment be parallelized with respect to
+all three loops; without the substitution the reference is opaque and the
+statement stays serial.
+"""
+
+from repro import (
+    analyze_dependences,
+    normalize_program,
+    parse_fortran,
+    substitute_induction_variables,
+    vectorize,
+)
+
+from .workloads import BOAST_SOURCE
+
+
+def prepared():
+    return substitute_induction_variables(
+        normalize_program(parse_fortran(BOAST_SOURCE))
+    )
+
+
+def test_b_parallel_in_all_three_loops():
+    graph = analyze_dependences(prepared(), normalized=True)
+    plan = vectorize(graph)
+    b_plan = next(p for p in plan.plan if "B(" in str(p.stmt.lhs))
+    assert b_plan.vector_levels == (1, 2, 3)
+
+
+def test_without_substitution_b_serial():
+    program = normalize_program(parse_fortran(BOAST_SOURCE))
+    graph = analyze_dependences(program, normalized=True)
+    plan = vectorize(graph)
+    b_plan = next(p for p in plan.plan if "B(" in str(p.stmt.lhs))
+    assert b_plan.vector_levels == ()
+
+
+def test_closed_form_is_linearized():
+    program = prepared()
+    b_stmt = next(s for s in program.assignments() if "B(" in str(s.lhs))
+    subscript = str(b_stmt.lhs.subscripts[0])
+    assert "12*I" in subscript and "3*J" in subscript and "K" in subscript
+
+
+def test_bench_iv_pipeline(benchmark):
+    def pipeline():
+        program = substitute_induction_variables(
+            normalize_program(parse_fortran(BOAST_SOURCE))
+        )
+        graph = analyze_dependences(program, normalized=True)
+        return vectorize(graph)
+
+    plan = benchmark(pipeline)
+    assert any(p.vector_levels == (1, 2, 3) for p in plan.plan)
+
+
+def test_bench_recognition_only(benchmark):
+    from repro.analysis import find_induction_variables
+
+    program = normalize_program(parse_fortran(BOAST_SOURCE))
+    ivs = benchmark(find_induction_variables, program)
+    assert len(ivs) == 1

@@ -1,0 +1,68 @@
+"""E4 — the paper's intro comparison (Section 1).
+
+Which techniques prove C(i+10*j) and C(i+10*j+5) independent?  The paper's
+claim: Banerjee, A-test, real Fourier-Motzkin, SVPC, Acyclic, Simple Loop
+Residue, Shostak and GCD all fail; Pugh-normalized FM succeeds (at high
+cost); delinearization succeeds on the fly.
+
+Each technique is also timed, giving the cost column of the comparison.
+"""
+
+import pytest
+
+from repro import Verdict, delinearize
+from repro.deptests import CLASSICAL_TESTS, exhaustive_test
+
+from .workloads import intro_equation
+
+#: The verdict the paper reports for each technique on equation (1).
+EXPECTED = {
+    "GCD test": Verdict.MAYBE,
+    "Generalized GCD (system)": Verdict.MAYBE,
+    "Banerjee inequalities": Verdict.MAYBE,
+    "Lambda test": Verdict.MAYBE,
+    "Single Variable Per Constraint": Verdict.MAYBE,
+    "Acyclic test": Verdict.MAYBE,
+    "Simple Loop Residue": Verdict.MAYBE,
+    "Shostak loop residues": Verdict.MAYBE,
+    "Fourier-Motzkin (real)": Verdict.MAYBE,
+    "Fourier-Motzkin + tightening": Verdict.INDEPENDENT,
+}
+
+
+def test_partition_matches_paper():
+    problem = intro_equation()
+    assert exhaustive_test(problem) is Verdict.INDEPENDENT
+    for name, test in CLASSICAL_TESTS.items():
+        assert test(problem) is EXPECTED[name], name
+    assert delinearize(problem).verdict is Verdict.INDEPENDENT
+
+
+def test_print_comparison_table(capsys):
+    from repro.deptests import EXTENDED_TESTS
+
+    problem = intro_equation()
+    rows = [(name, test(problem)) for name, test in CLASSICAL_TESTS.items()]
+    rows.extend(
+        (f"{name} [post-paper]", test(problem))
+        for name, test in EXTENDED_TESTS.items()
+    )
+    rows.append(("Delinearization (this paper)", delinearize(problem).verdict))
+    rows.append(("Exhaustive (ground truth)", exhaustive_test(problem)))
+    with capsys.disabled():
+        print()
+        print("E4: verdicts on equation (1)  [independent = disproved]")
+        for name, verdict in rows:
+            print(f"  {name:32s} {verdict}")
+
+
+@pytest.mark.parametrize("name", list(CLASSICAL_TESTS))
+def test_bench_classical(benchmark, name):
+    problem = intro_equation()
+    benchmark(CLASSICAL_TESTS[name], problem)
+
+
+def test_bench_delinearization(benchmark):
+    problem = intro_equation()
+    result = benchmark(delinearize, problem)
+    assert result.verdict is Verdict.INDEPENDENT

@@ -1,0 +1,47 @@
+"""Whole-pipeline throughput: the translator on realistic programs.
+
+Not a paper table — this measures the end-to-end cost of the front-half
+compiler (parse -> normalize -> IV substitution -> alias linearization ->
+dependence analysis with delinearization -> Allen-Kennedy vectorization),
+the context in which the paper argues delinearization must be cheap.
+"""
+
+from repro.corpus import generate_riceps_program, profile
+from repro.driver import compile_fortran
+
+from .workloads import FIGURE3_SOURCE
+
+
+def test_bench_figure3_pipeline(benchmark):
+    report = benchmark(compile_fortran, FIGURE3_SOURCE)
+    assert report.dependence_count == 10
+
+
+def test_bench_synthetic_program_pipeline(benchmark):
+    generated = generate_riceps_program(profile("QCD"), scale=0.05)
+
+    def run():
+        return compile_fortran(generated.source)
+
+    report = benchmark(run)
+    assert report.plan.plan  # something was scheduled
+
+
+def test_bench_parse_only(benchmark):
+    from repro import parse_fortran
+
+    generated = generate_riceps_program(profile("TRACK"), scale=0.05)
+    program = benchmark(parse_fortran, generated.source)
+    assert program.assignments()
+
+
+def test_pipeline_scales_with_program_size():
+    """Sanity: compile time does not explode on the larger programs."""
+    import time
+
+    for name, scale in (("QCD", 0.05), ("TRACK", 0.05), ("BOAST", 0.02)):
+        generated = generate_riceps_program(profile(name), scale=scale)
+        start = time.perf_counter()
+        compile_fortran(generated.source)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30, f"{name} took {elapsed:.1f}s"

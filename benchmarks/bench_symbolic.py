@@ -1,0 +1,58 @@
+"""E6 — paper Section 4: symbolic delinearization.
+
+The equation from A(N*N*k+N*j+i) = A(N*N*k+j+N*i+N*N+N) separates into
+three symbolic dimension equations; under N >= 3 the dependence is proven
+with exact k-distance -1, matching exhaustive enumeration at concrete N.
+"""
+
+from repro import Verdict, delinearize
+from repro.deptests import BoundedVar, DependenceProblem, exhaustive_test
+
+from .workloads import symbolic_problem
+
+PAPER_GROUPS = ["i1 - j2", "-N*i2 + N*j1 - N", "N^2*k1 - N^2*k2 - N^2"]
+
+
+def test_three_symbolic_dimensions():
+    result = delinearize(symbolic_problem(2))
+    assert [str(g.equation) for g in result.groups] == PAPER_GROUPS
+
+
+def test_verdicts_by_assumption():
+    assert delinearize(symbolic_problem(1)).verdict is Verdict.MAYBE
+    assert delinearize(symbolic_problem(2)).verdict is Verdict.MAYBE
+    assert delinearize(symbolic_problem(3)).verdict is Verdict.DEPENDENT
+
+
+def test_symbolic_matches_concrete_instances():
+    symbolic = symbolic_problem(3)
+    for value in (3, 4, 6):
+        equation = symbolic.equations[0].subs_symbols({"N": value})
+        variables = [
+            BoundedVar.make(v.name, v.upper.subs({"N": value}), v.level, v.side)
+            for v in symbolic.variables.values()
+        ]
+        concrete = DependenceProblem([equation], variables, common_levels=3)
+        assert exhaustive_test(concrete) is Verdict.DEPENDENT
+        assert delinearize(concrete).verdict is Verdict.DEPENDENT
+
+
+def test_print_symbolic_trace(capsys):
+    result = delinearize(symbolic_problem(2), keep_trace=True)
+    with capsys.disabled():
+        print()
+        print("E6: symbolic trace (N >= 2)")
+        print(result.format_trace())
+        print("distance-direction:", result.distance_direction_vector(3))
+
+
+def test_bench_symbolic_delinearization(benchmark):
+    problem = symbolic_problem(3)
+    result = benchmark(delinearize, problem)
+    assert result.verdict is Verdict.DEPENDENT
+
+
+def test_bench_symbolic_with_trace(benchmark):
+    problem = symbolic_problem(2)
+    result = benchmark(delinearize, problem, keep_trace=True)
+    assert result.dimensions_found == 3

@@ -1,0 +1,152 @@
+"""Shared workload builders for the benchmark harness.
+
+Each experiment bench imports its inputs from here so the workload
+parameters live in one place (and EXPERIMENTS.md can reference them).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import BoundedVar, DependenceProblem, LinExpr, Poly, Assumptions
+
+#: Paper equation (1): C(i+10*j) vs C(i+10*j+5).
+def intro_equation() -> DependenceProblem:
+    return DependenceProblem.single(
+        {"i1": 1, "j1": 10, "i2": -1, "j2": -10},
+        -5,
+        {"i1": 4, "i2": 4, "j1": 9, "j2": 9},
+        pairs=[("i1", "i2"), ("j1", "j2")],
+    )
+
+
+#: Paper Figure-5 equation: 100k1-100k2+10j1-10i2+i1-j2-110 = 0.
+def figure5_equation() -> DependenceProblem:
+    return DependenceProblem.single(
+        {"k1": 100, "k2": -100, "j1": 10, "i2": -10, "i1": 1, "j2": -1},
+        -110,
+        {"i1": 8, "i2": 8, "j1": 9, "j2": 9, "k1": 8, "k2": 8},
+    )
+
+
+#: Paper section 4 symbolic equation (strides 1, N, N^2).
+def symbolic_problem(lower_bound: int = 2) -> DependenceProblem:
+    n = Poly.symbol("N")
+    equation = LinExpr(
+        {
+            "k1": n * n,
+            "j1": n,
+            "i1": 1,
+            "k2": -(n * n),
+            "j2": -1,
+            "i2": -n,
+        },
+        -(n * n) - n,
+    )
+    variables = [
+        BoundedVar.make("i1", n - 2, 1, 0),
+        BoundedVar.make("i2", n - 2, 1, 1),
+        BoundedVar.make("j1", n - 1, 2, 0),
+        BoundedVar.make("j2", n - 1, 2, 1),
+        BoundedVar.make("k1", n - 2, 3, 0),
+        BoundedVar.make("k2", n - 2, 3, 1),
+    ]
+    return DependenceProblem(
+        [equation],
+        variables,
+        common_levels=3,
+        assumptions=Assumptions({"N": lower_bound}),
+    )
+
+
+def linearized_chain(
+    pairs: int, seed: int = 0, base_extent: int = 4, shifted: bool = False
+) -> DependenceProblem:
+    """A linearized multi-dimensional dependence equation with ``2*pairs``
+    variables: strides multiply up dimension by dimension, the way storage
+    linearization of a ``pairs``-dimensional array produces them.
+
+    With ``shifted`` the constant is knocked off the stride lattice by one;
+    such equations admit carry/borrow between dimensions, so the
+    delinearization theorem (correctly) refuses to split them — an
+    adversarial population for soundness tests, not a linearized workload.
+    """
+    rng = random.Random(seed)
+    coeffs: dict[str, int] = {}
+    bounds: dict[str, int] = {}
+    level_pairs = []
+    stride = 1
+    constant = 0
+    for level in range(1, pairs + 1):
+        extent = base_extent + rng.randrange(0, 3)
+        # The stride multiplier exceeds the full digit span 2*(extent-1),
+        # mirroring the paper's C(i+10*j) with i in [0,4] (stride 10, span
+        # 9): no carry between dimensions is possible, so the equation is a
+        # clean digit decomposition the theorem can always split.
+        multiplier = 2 * extent - 1 + rng.randrange(0, 2)
+        a, b = f"z{level}a", f"z{level}b"
+        coeffs[a] = stride
+        coeffs[b] = -stride
+        bounds[a] = bounds[b] = extent - 1
+        level_pairs.append((a, b))
+        if rng.random() < 0.75:
+            digit = rng.randrange(0, extent)  # representable
+        else:
+            digit = rng.randrange(extent, multiplier)  # out of reach
+        constant += stride * digit
+        stride *= multiplier
+    if shifted and rng.random() < 0.5:
+        constant += 1
+    return DependenceProblem.single(
+        coeffs, -constant, bounds, pairs=level_pairs
+    )
+
+
+MHL91_SOURCE = """
+REAL A(200)
+DO 10 i = 1, 8
+DO 10 j = 1, 10
+10 A(10*i+j) = A(10*(i+2)+j) + 7
+"""
+
+FIGURE3_SOURCE = """
+REAL X(200), Y(200), B(100)
+REAL A(100,100), C(100,100)
+DO 30 i = 1, 100
+X(i) = Y(i) + 10
+DO 20 j = 1, 99
+B(j) = A(j,20)
+DO 10 k = 1, 100
+A(j+1,k) = B(j) + C(j,k)
+10 CONTINUE
+Y(i+j) = A(j+1,20)
+20 CONTINUE
+30 CONTINUE
+"""
+
+EQUIVALENCE_SOURCE = """
+REAL A(0:9,0:9)
+REAL B(0:4,0:19)
+EQUIVALENCE (A, B)
+DO 1 i = 0, 4
+DO 1 j = 0, 9
+1 A(i, j) = B(i, 2*j+1)
+"""
+
+C_POINTER_SOURCE = """
+float d[100];
+float *i, *j;
+for (j = d; j <= d + 90; j += 10)
+    for (i = j; i < j + 5; i++)
+        *i = *(i + 5);
+"""
+
+BOAST_SOURCE = """
+IB = -1
+DO 1 I = 0, 5
+DO 1 J = 0, 3
+DO 1 K = 0, 2
+IB = IB + 1
+C(J) = C(J) + 1
+1 B(IB) = B(IB) + Q
+"""

@@ -1,0 +1,56 @@
+"""C pointer traversal: pointer -> index -> delinearization.
+
+The paper's C fragment walks array d with two pointers.  The pipeline
+converts pointers to integer indices, normalizes the loops (producing the
+classic linearized subscript d(i + 10*j)), and delinearization proves the
+references independent — so both loops are parallel.
+
+Run:  python examples/c_pointer_analysis.py
+"""
+
+from repro import (
+    analyze_dependences,
+    convert_pointers,
+    emit_program,
+    format_program,
+    normalize_program,
+    parse_c,
+    vectorize,
+)
+
+SOURCE = """
+float d[100];
+float *i, *j;
+for (j = d; j <= d + 90; j += 10)
+    for (i = j; i < j + 5; i++)
+        *i = *(i + 5);
+"""
+
+
+def main() -> None:
+    print("Input C program:")
+    print(SOURCE)
+
+    program, info = parse_c(SOURCE)
+    print(f"Pointers found: {sorted(info.pointers)}")
+    print()
+
+    indexed = convert_pointers(program, info)
+    print("After pointer-to-index conversion:")
+    print(format_program(indexed))
+
+    normalized = normalize_program(indexed)
+    print("After loop normalization (the linearized form):")
+    print(format_program(normalized))
+
+    graph = analyze_dependences(normalized, normalized=True)
+    print(f"Dependence edges: {len(graph.edges)} (independent!)")
+    print()
+
+    plan = vectorize(graph)
+    print("Parallelized program:")
+    print(emit_program(plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Multi-loop induction variables: the paper's BOAST fragment.
+
+IB is controlled by all three loops; recognizing that and substituting the
+closed form K + J*KK + I*KK*JJ produces a linearized reference that
+delinearization can analyze — parallelizing the B assignment with respect
+to all three loops (existing techniques saw only the innermost).
+
+Run:  python examples/induction_variables.py
+"""
+
+from repro import (
+    analyze_dependences,
+    emit_program,
+    format_program,
+    normalize_program,
+    parse_fortran,
+    substitute_induction_variables,
+    vectorize,
+)
+from repro.analysis import find_induction_variables
+
+BOAST = """
+IB = -1
+DO 1 I = 0, II-1
+DO 1 J = 0, JJ-1
+DO 1 K = 0, KK-1
+IB = IB + 1
+C(J) = C(J) + 1
+1 B(IB) = B(IB) + Q
+"""
+
+CONCRETE = BOAST.replace("II", "6").replace("JJ", "4").replace("KK", "3")
+
+
+def main() -> None:
+    print("Input program (derived from a BOAST loop nest):")
+    print(BOAST)
+
+    normalized = normalize_program(parse_fortran(BOAST))
+    ivs = find_induction_variables(normalized)
+    for iv in ivs:
+        controlling = ", ".join(loop.var for loop in iv.loops)
+        print(
+            f"Recognized induction variable {iv.name}: init={iv.init}, "
+            f"step={iv.step}, controlled by {iv.depth} loops ({controlling})"
+        )
+    print()
+
+    rewritten = substitute_induction_variables(normalized)
+    print("After closed-form substitution:")
+    print(format_program(rewritten))
+
+    # Vectorize the concrete-size variant (symbolic trip counts stay
+    # analyzable too, but the concrete one shows the full payoff).
+    program = substitute_induction_variables(
+        normalize_program(parse_fortran(CONCRETE))
+    )
+    graph = analyze_dependences(program, normalized=True)
+    plan = vectorize(graph)
+    print("Parallelized program (B parallel in all 3 loops, C a reduction):")
+    print(emit_program(plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Vectorizing the paper's Figure-3 program.
+
+Builds the full dependence graph (reproducing the paper's dependence table)
+and runs Allen-Kennedy loop distribution + vectorization over it.
+
+Run:  python examples/vectorize_program.py
+"""
+
+from repro import analyze_dependences, emit_program, parse_fortran, vectorize
+
+FIGURE3 = """
+REAL X(200), Y(200), B(100)
+REAL A(100,100), C(100,100)
+DO 30 i = 1, 100
+X(i) = Y(i) + 10
+DO 20 j = 1, 99
+B(j) = A(j,20)
+DO 10 k = 1, 100
+A(j+1,k) = B(j) + C(j,k)
+10 CONTINUE
+Y(i+j) = A(j+1,20)
+20 CONTINUE
+30 CONTINUE
+"""
+
+
+def main() -> None:
+    program = parse_fortran(FIGURE3)
+    graph = analyze_dependences(program)
+
+    print("Dependence table (paper Figure 3):")
+    print(graph.format_table())
+    print()
+
+    print("Dependences carried by each loop level:")
+    for level in (1, 2, 3):
+        carried = graph.carried_by_level(level)
+        print(f"  level {level}: {len(carried)} edge(s)")
+    print(f"  loop-independent: {len(graph.loop_independent())} edge(s)")
+    print()
+
+    plan = vectorize(graph)
+    print("Vectorization plan:")
+    for entry in plan.plan:
+        loops = ", ".join(loop.var for loop in entry.loops)
+        print(
+            f"  {entry.stmt.label}: loops=({loops}) "
+            f"serial={entry.serial_levels} vector={entry.vector_levels}"
+        )
+    print()
+
+    print("Transformed program:")
+    print(emit_program(plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro — a reproduction of Maslov's *Delinearization* (PLDI 1992).
+
+A loop-dependence-analysis and vectorization library built around the
+delinearization algorithm: breaking multiloop dependence equations arising
+from linearized array subscripts into independently (and exactly) solvable
+per-dimension equations.
+
+Typical use::
+
+    from repro import parse_fortran, analyze_dependences, vectorize, emit_program
+
+    program = parse_fortran(source_text)
+    graph = analyze_dependences(program)
+    print(graph.format_table())
+    print(emit_program(vectorize(graph)))
+
+or, at the equation level::
+
+    from repro import DependenceProblem, delinearize
+
+    problem = DependenceProblem.single(
+        {"i1": 1, "j1": 10, "i2": -1, "j2": -10}, -5,
+        {"i1": 4, "i2": 4, "j1": 9, "j2": 9},
+        pairs=[("i1", "i2"), ("j1", "j2")],
+    )
+    result = delinearize(problem)   # -> INDEPENDENT
+
+Package map:
+
+* :mod:`repro.symbolic`   — integer polynomials, assumptions, affine exprs
+* :mod:`repro.ir`         — loop-nest IR and pretty printing
+* :mod:`repro.frontend`   — FORTRAN-77 and C subset parsers
+* :mod:`repro.analysis`   — normalization, induction variables,
+  linearization, pointer conversion, problem building
+* :mod:`repro.deptests`   — classical dependence tests (the baselines)
+* :mod:`repro.core`       — the delinearization theorem and algorithm
+* :mod:`repro.dirvec`     — direction/distance vectors and refinement
+* :mod:`repro.depgraph`   — whole-program dependence graphs
+* :mod:`repro.vectorizer` — Allen–Kennedy vectorization (the VIC role)
+* :mod:`repro.corpus`     — synthetic RiCEPS-style corpus and census
+"""
+
+from .analysis import (
+    build_pair_problem,
+    convert_pointers,
+    linearize_program,
+    normalize_program,
+    partially_linearize,
+    rectangular_bounds,
+    substitute_induction_variables,
+)
+from .core import DelinearizationResult, delinearize
+from .depgraph import Dependence, DependenceGraph, analyze_dependences
+from .deptests import BoundedVar, DependenceProblem, Verdict
+from .dirvec import DirVec, DistanceVec
+from .frontend import ParseError, parse_c, parse_fortran
+from .ir import Program, format_program
+from .symbolic import Assumptions, LinExpr, Poly
+from .vectorizer import VectorizationResult, emit_program, vectorize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assumptions",
+    "BoundedVar",
+    "DelinearizationResult",
+    "Dependence",
+    "DependenceGraph",
+    "DependenceProblem",
+    "DirVec",
+    "DistanceVec",
+    "LinExpr",
+    "ParseError",
+    "Poly",
+    "Program",
+    "VectorizationResult",
+    "Verdict",
+    "__version__",
+    "analyze_dependences",
+    "build_pair_problem",
+    "convert_pointers",
+    "delinearize",
+    "emit_program",
+    "format_program",
+    "linearize_program",
+    "normalize_program",
+    "parse_c",
+    "parse_fortran",
+    "partially_linearize",
+    "rectangular_bounds",
+    "substitute_induction_variables",
+    "vectorize",
+]

@@ -1,0 +1,50 @@
+"""Program analyses and normalizing transformations."""
+
+from .check import Diagnostic, check_program
+from .induction import (
+    InductionVariable,
+    find_induction_variables,
+    substitute_induction_variables,
+)
+from .linearize import (
+    LinearizationError,
+    StorageLayout,
+    alias_groups,
+    count_linearized_nests,
+    is_linearized_subscript,
+    layout_of,
+    linearize_common,
+    linearize_program,
+    partially_linearize,
+)
+from .normalize import (
+    NormalizationError,
+    normalize_program,
+    rectangular_bounds,
+)
+from .pointers import PointerConversionError, convert_pointers
+from .refpairs import PairProblem, build_pair_problem
+
+__all__ = [
+    "Diagnostic",
+    "InductionVariable",
+    "check_program",
+    "LinearizationError",
+    "NormalizationError",
+    "PairProblem",
+    "PointerConversionError",
+    "StorageLayout",
+    "alias_groups",
+    "build_pair_problem",
+    "convert_pointers",
+    "count_linearized_nests",
+    "find_induction_variables",
+    "is_linearized_subscript",
+    "layout_of",
+    "linearize_common",
+    "linearize_program",
+    "normalize_program",
+    "partially_linearize",
+    "rectangular_bounds",
+    "substitute_induction_variables",
+]

@@ -1,0 +1,169 @@
+"""Static semantic checks: rank, bounds, shadowing diagnostics.
+
+The paper leans on the ANSI rule that subscripts stay within their declared
+bounds ("subscript-out-of-range check is not performed by most C compilers
+and this requirement is unknown to majority of users") — dependence
+analysis is only meaningful for conforming programs.  This checker reports
+the violations it can decide statically:
+
+* references whose rank disagrees with the declaration;
+* affine subscripts whose value range provably leaves the declared bounds
+  (using the rectangularized iteration space);
+* loop variables that shadow an outer loop's variable;
+* loops whose (constant) ranges are empty.
+
+Diagnostics are advisory: analysis remains sound for conforming programs,
+and the checker is how a user finds out their program is not one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Loop, Program, to_linexpr, to_poly
+from ..symbolic import Assumptions, Poly
+from .normalize import rectangular_bounds
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One checker finding."""
+
+    severity: str  # "error" | "warning"
+    statement: str | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f" at {self.statement}" if self.statement else ""
+        return f"{self.severity}{where}: {self.message}"
+
+
+def check_program(
+    program: Program, assumptions: Assumptions | None = None
+) -> list[Diagnostic]:
+    """Run all checks on a *normalized* program."""
+    assumptions = assumptions or Assumptions.empty()
+    diagnostics: list[Diagnostic] = []
+    bounds = rectangular_bounds(program)
+    _check_loops(program.body, set(), diagnostics)
+    for stmt, loops in program.walk_statements():
+        loop_vars = {loop.var for loop in loops}
+        for ref, is_write in stmt.refs():
+            decl = program.array(ref.array)
+            if decl is None or not decl.dims:
+                continue  # implicit array: nothing known to check against
+            if ref.rank != decl.rank:
+                diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        stmt.label,
+                        f"{ref}: rank {ref.rank} does not match declared "
+                        f"rank {decl.rank} of {decl.name}",
+                    )
+                )
+                continue
+            for dim_index, (sub, dim) in enumerate(
+                zip(ref.subscripts, decl.dims), start=1
+            ):
+                _check_subscript_range(
+                    stmt.label,
+                    ref,
+                    dim_index,
+                    sub,
+                    dim,
+                    loop_vars,
+                    bounds,
+                    assumptions,
+                    diagnostics,
+                )
+    return diagnostics
+
+
+def _check_loops(
+    stmts: list, active: set[str], diagnostics: list[Diagnostic]
+) -> None:
+    for stmt in stmts:
+        if not isinstance(stmt, Loop):
+            continue
+        if stmt.var in active:
+            diagnostics.append(
+                Diagnostic(
+                    "error",
+                    None,
+                    f"loop variable {stmt.var} shadows an enclosing loop",
+                )
+            )
+        upper = to_poly(stmt.upper)
+        if upper is not None and upper.is_constant() and upper.as_int() < 0:
+            diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    None,
+                    f"loop {stmt.var}: empty range (upper bound {upper})",
+                )
+            )
+        _check_loops(stmt.body, active | {stmt.var}, diagnostics)
+
+
+def _check_subscript_range(
+    label: str | None,
+    ref,
+    dim_index: int,
+    sub,
+    dim,
+    loop_vars: set[str],
+    bounds: dict[str, Poly],
+    assumptions: Assumptions,
+    diagnostics: list[Diagnostic],
+) -> None:
+    lowered = to_linexpr(sub, loop_vars)
+    if lowered is None:
+        return  # opaque subscript: not checkable
+    lower_decl = to_poly(dim.lower)
+    upper_decl = to_poly(dim.upper)
+    if lower_decl is None or upper_decl is None:
+        return
+    # Range of the subscript over the rectangular iteration space.
+    minimum = lowered.const
+    maximum = lowered.const
+    for name, coeff in lowered.coeffs.items():
+        bound = bounds.get(name)
+        if bound is None or assumptions.is_nonneg(bound) is None:
+            return
+        sign = assumptions.sign(coeff)
+        if sign is None:
+            return
+        if sign > 0:
+            maximum = maximum + coeff * bound
+        elif sign < 0:
+            minimum = minimum + coeff * bound
+    if assumptions.is_lt(maximum, lower_decl) or assumptions.is_lt(
+        upper_decl, minimum
+    ):
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                label,
+                f"{ref}: dimension {dim_index} never intersects its "
+                f"declared bounds {dim}",
+            )
+        )
+        return
+    if assumptions.is_lt(minimum, lower_decl):
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                label,
+                f"{ref}: dimension {dim_index} can underrun its declared "
+                f"bounds {dim} (minimum {minimum})",
+            )
+        )
+    if assumptions.is_lt(upper_decl, maximum):
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                label,
+                f"{ref}: dimension {dim_index} can overrun its declared "
+                f"bounds {dim} (maximum {maximum})",
+            )
+        )

@@ -1,0 +1,176 @@
+"""C pointer traversal -> integer index conversion.
+
+The paper: "to make analysis in the presence of pointers possible [the]
+translator should treat [a] pointer which is used to traverse some array as
+[an] index in the linearized version of that array".  For::
+
+    float d[100];
+    float *i, *j;
+    for (j = d; j <= d + 90; j += 10)
+        for (i = j; i < j + 5; i++)
+            *i = *(i + 5);
+
+the pointers become integer indices over ``d``::
+
+    for (j = 0; j <= 90; j += 10)
+        for (i = j; i <= j + 4; i++)
+            d(i) = d(i + 5)
+
+(loop normalization then removes the non-unit step and the loop-variant
+lower bound, producing the classic linearized subscripts ``d(10j + i)``).
+
+Recognized pointer loops: ``for (p = base; ...)`` where ``base`` is a
+declared 1-D array name (optionally ``+ offset``) or an already-converted
+pointer index over the same array.  Every ``*expr`` whose expression is a
+converted pointer (± loop-invariant offset) becomes an ArrayRef.
+"""
+
+from __future__ import annotations
+
+from ..frontend.c import CParseInfo
+from ..ir import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Deref,
+    Expr,
+    IntLit,
+    Loop,
+    Name,
+    Program,
+    Stmt,
+    substitute_name,
+)
+from ..ir.fold import fold, simplify
+
+
+class PointerConversionError(Exception):
+    """A pointer use cannot be converted to index form."""
+
+
+def convert_pointers(program: Program, info: CParseInfo) -> Program:
+    """Rewrite pointer-traversal loops and dereferences to array indexing."""
+    converter = _Converter(program, info)
+    rewritten = Program(
+        decls=dict(program.decls),
+        equivalences=list(program.equivalences),
+        body=converter.convert_stmts(program.body, {}),
+        name=program.name,
+        commons=list(program.commons),
+    )
+    rewritten.number_statements()
+    return rewritten
+
+
+class _Converter:
+    def __init__(self, program: Program, info: CParseInfo):
+        self.program = program
+        self.info = info
+
+    def convert_stmts(
+        self, stmts: list[Stmt], pointer_bases: dict[str, str]
+    ) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                out.append(self.convert_loop(stmt, dict(pointer_bases)))
+            elif isinstance(stmt, Assignment):
+                out.append(
+                    Assignment(
+                        self.convert_expr(stmt.lhs, pointer_bases),
+                        self.convert_expr(stmt.rhs, pointer_bases),
+                        stmt.label,
+                    )
+                )
+            else:
+                raise TypeError(f"unknown statement {type(stmt).__name__}")
+        return out
+
+    def convert_loop(
+        self, loop: Loop, pointer_bases: dict[str, str]
+    ) -> Loop:
+        if loop.var in self.info.pointers:
+            base = self.base_array_of(loop.lower, pointer_bases)
+            if base is None:
+                raise PointerConversionError(
+                    f"pointer loop {loop.var}: base of {loop.lower} unknown"
+                )
+            pointer_bases[loop.var] = base
+            lower = self.strip_base(loop.lower, base, pointer_bases)
+            upper = self.strip_base(loop.upper, base, pointer_bases)
+            body = self.convert_stmts(loop.body, pointer_bases)
+            return Loop(loop.var, lower, upper, body, loop.step)
+        return Loop(
+            loop.var,
+            self.convert_expr(loop.lower, pointer_bases),
+            self.convert_expr(loop.upper, pointer_bases),
+            self.convert_stmts(loop.body, pointer_bases),
+            loop.step,
+        )
+
+    def base_array_of(
+        self, expr: Expr, pointer_bases: dict[str, str]
+    ) -> str | None:
+        """The array a pointer-valued expression points into."""
+        if isinstance(expr, Name):
+            if expr.name in pointer_bases:
+                return pointer_bases[expr.name]
+            decl = self.program.array(expr.name)
+            if decl is not None:
+                if decl.rank > 1:
+                    raise PointerConversionError(
+                        f"pointer into multi-dimensional array {expr.name}"
+                    )
+                return expr.name
+            return None
+        if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+            return self.base_array_of(
+                expr.left, pointer_bases
+            ) or self.base_array_of(expr.right, pointer_bases)
+        return None
+
+    def strip_base(
+        self, expr: Expr, base: str, pointer_bases: dict[str, str]
+    ) -> Expr:
+        """Turn a pointer-valued expression into an index expression.
+
+        Replaces the base array name by 0 (its index origin); names of
+        already-converted pointers are already indices and stay.
+        """
+        stripped = substitute_name(expr, base, IntLit(0))
+        return simplify(self.convert_expr(stripped, pointer_bases))
+
+    def convert_expr(
+        self, expr: Expr, pointer_bases: dict[str, str]
+    ) -> Expr:
+        if isinstance(expr, Deref):
+            base = self.base_array_of(expr.pointer, pointer_bases)
+            if base is None:
+                raise PointerConversionError(
+                    f"cannot resolve base array of {expr}"
+                )
+            index = self.strip_base(expr.pointer, base, pointer_bases)
+            return ArrayRef(base, (index,))
+        if isinstance(expr, (Name, IntLit)):
+            return expr
+        from ..ir import Call, UnaryOp
+
+        if isinstance(expr, BinOp):
+            return BinOp(
+                expr.op,
+                self.convert_expr(expr.left, pointer_bases),
+                self.convert_expr(expr.right, pointer_bases),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.convert_expr(expr.operand, pointer_bases))
+        if isinstance(expr, Call):
+            return Call(
+                expr.func,
+                tuple(self.convert_expr(a, pointer_bases) for a in expr.args),
+            )
+        if isinstance(expr, ArrayRef):
+            return ArrayRef(
+                expr.array,
+                tuple(self.convert_expr(s, pointer_bases) for s in expr.subscripts),
+            )
+        raise TypeError(f"unknown expression {type(expr).__name__}")

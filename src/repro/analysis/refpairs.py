@@ -1,0 +1,114 @@
+"""Building dependence problems from pairs of array references.
+
+This is the bridge between the IR world (statements, loops, subscript
+expressions) and the solver world (equations over bounded variables): for a
+pair of references to the same array it constructs the system (2)/(5) of the
+paper, renaming the two sides' iteration variables apart and recording which
+loop levels are common (for direction vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deptests.problem import BoundedVar, DependenceProblem
+from ..ir import RefContext, common_loop_count, to_linexpr
+from ..symbolic import Assumptions, LinExpr, Poly
+
+
+@dataclass
+class PairProblem:
+    """A dependence problem plus provenance for one reference pair."""
+
+    source: RefContext
+    sink: RefContext
+    problem: DependenceProblem | None  # None: nothing analyzable
+    common_levels: int
+    analyzable_dims: int = 0
+    unknown_dims: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def fully_analyzable(self) -> bool:
+        return self.problem is not None and self.unknown_dims == 0
+
+
+def build_pair_problem(
+    ref_a: RefContext,
+    ref_b: RefContext,
+    bounds: dict[str, Poly],
+    assumptions: Assumptions | None = None,
+) -> PairProblem:
+    """Construct the dependence system for two references.
+
+    ``bounds`` maps loop variable names to loop-invariant inclusive upper
+    bounds (see :func:`repro.analysis.normalize.rectangular_bounds`); the
+    enclosing loops are assumed normalized.
+    """
+    if ref_a.ref.array != ref_b.ref.array:
+        raise ValueError(
+            f"references to different arrays: "
+            f"{ref_a.ref.array} vs {ref_b.ref.array}"
+        )
+    assumptions = assumptions or Assumptions.empty()
+    n_common = common_loop_count(ref_a, ref_b)
+    vars_a = set(ref_a.loop_vars)
+    vars_b = set(ref_b.loop_vars)
+    rename_a = {name: f"{name}#1" for name in vars_a}
+    rename_b = {name: f"{name}#2" for name in vars_b}
+
+    notes: list[str] = []
+    equations: list[LinExpr] = []
+    unknown = 0
+    subs_a = ref_a.ref.subscripts
+    subs_b = ref_b.ref.subscripts
+    if len(subs_a) != len(subs_b):
+        notes.append("rank mismatch: no analyzable dimensions")
+        return PairProblem(ref_a, ref_b, None, n_common, 0, max(len(subs_a), len(subs_b)), notes)
+    for dim, (sub_a, sub_b) in enumerate(zip(subs_a, subs_b), start=1):
+        f_a = to_linexpr(sub_a, vars_a)
+        f_b = to_linexpr(sub_b, vars_b)
+        if f_a is None or f_b is None:
+            unknown += 1
+            notes.append(f"dimension {dim}: non-affine subscript")
+            continue
+        equation = f_a.rename_vars(rename_a) - f_b.rename_vars(rename_b)
+        equations.append(equation)
+
+    if not equations:
+        return PairProblem(
+            ref_a, ref_b, None, n_common, 0, unknown, notes
+        )
+
+    variables: list[BoundedVar] = []
+    for side, (ref, rename) in enumerate(
+        ((ref_a, rename_a), (ref_b, rename_b))
+    ):
+        for level, var in enumerate(ref.loop_vars, start=1):
+            if var not in bounds:
+                raise KeyError(f"no bound recorded for loop variable {var!r}")
+            variables.append(
+                BoundedVar(
+                    rename[var],
+                    bounds[var],
+                    level if level <= n_common else None,
+                    side if level <= n_common else None,
+                )
+            )
+
+    used: set[str] = set()
+    for equation in equations:
+        used |= equation.variables()
+    # Keep common-level pairs even when unused (direction queries); drop
+    # other unused variables to keep problems small.
+    kept = [
+        v
+        for v in variables
+        if v.name in used or (v.level is not None and v.level <= n_common)
+    ]
+    problem = DependenceProblem(
+        equations, kept, common_levels=n_common, assumptions=assumptions
+    )
+    return PairProblem(
+        ref_a, ref_b, problem, n_common, len(equations), unknown, notes
+    )

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``analyze <file>``   — print the dependence table of a program;
+* ``vectorize <file>`` — print the vectorized program;
+* ``census <file>``    — count loop nests containing linearized references;
+* ``delinearize``      — run the algorithm on one dependence equation given
+  with ``--equation`` and ``--bounds`` (prints the Figure-5 style trace);
+* ``compare``          — run every dependence test on one equation;
+* ``riceps``           — regenerate the paper's Figure-1 census table.
+
+The source language is inferred from the file extension (.c vs anything
+else) and can be forced with ``--lang``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import delinearize
+from .corpus import RICEPS_PROFILES, census_source, generate_riceps_program
+from .deptests import DependenceProblem, Verdict, run_all
+from .driver import compile_c, compile_fortran
+from .frontend.lexer import TokenStream, tokenize
+from .ir import to_linexpr
+from .symbolic import Assumptions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Delinearization-based dependence analysis (Maslov, PLDI 1992)",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    analyze = sub.add_parser("analyze", help="print the dependence table")
+    _add_source_args(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    vectorize = sub.add_parser("vectorize", help="print the vectorized program")
+    _add_source_args(vectorize)
+    vectorize.add_argument(
+        "--report", action="store_true", help="also print the phase summary"
+    )
+    vectorize.add_argument(
+        "--emit",
+        choices=("f90", "c"),
+        default="f90",
+        help="output dialect (FORTRAN-90 sections or C with pragmas)",
+    )
+    vectorize.set_defaults(handler=_cmd_vectorize)
+
+    check = sub.add_parser(
+        "check", help="static rank/bounds diagnostics for a program"
+    )
+    _add_source_args(check)
+    check.set_defaults(handler=_cmd_check)
+
+    census = sub.add_parser(
+        "census", help="count loop nests with linearized references"
+    )
+    census.add_argument("file", type=Path)
+    census.set_defaults(handler=_cmd_census)
+
+    delin = sub.add_parser(
+        "delinearize", help="delinearize one dependence equation"
+    )
+    delin.add_argument(
+        "--equation",
+        required=True,
+        help="e.g. 'i1 + 10*j1 - i2 - 10*j2 - 5'",
+    )
+    delin.add_argument(
+        "--bounds",
+        required=True,
+        help="comma list, e.g. 'i1=4,i2=4,j1=9,j2=9'",
+    )
+    delin.add_argument(
+        "--pairs",
+        default="",
+        help="common-level pairs, e.g. 'i1:i2,j1:j2'",
+    )
+    delin.add_argument(
+        "--assume",
+        default="",
+        help="symbol lower bounds, e.g. 'N=2'",
+    )
+    delin.set_defaults(handler=_cmd_delinearize)
+
+    compare = sub.add_parser(
+        "compare", help="run every dependence test on one equation"
+    )
+    compare.add_argument("--equation", required=True)
+    compare.add_argument("--bounds", required=True)
+    compare.set_defaults(handler=_cmd_compare)
+
+    riceps = sub.add_parser("riceps", help="regenerate the Figure-1 table")
+    riceps.add_argument(
+        "--scale", type=float, default=0.1, help="program size scale factor"
+    )
+    riceps.set_defaults(handler=_cmd_riceps)
+    return parser
+
+
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", type=Path)
+    parser.add_argument(
+        "--lang", choices=("fortran", "c"), default=None
+    )
+    parser.add_argument(
+        "--assume", default="", help="symbol lower bounds, e.g. 'N=2'"
+    )
+
+
+def _language_of(args) -> str:
+    if args.lang:
+        return args.lang
+    return "c" if args.file.suffix == ".c" else "fortran"
+
+
+def _compile(args):
+    source = args.file.read_text()
+    assumptions = _parse_assumptions(args.assume)
+    if _language_of(args) == "c":
+        return compile_c(source, assumptions)
+    return compile_fortran(source, assumptions)
+
+
+def _cmd_analyze(args) -> int:
+    report = _compile(args)
+    print(report.graph.format_table())
+    return 0
+
+
+def _cmd_vectorize(args) -> int:
+    report = _compile(args)
+    if args.report:
+        print(report.summary())
+        print()
+    if args.emit == "c":
+        from .vectorizer import emit_c_program
+
+        print(emit_c_program(report.plan), end="")
+    else:
+        print(report.output, end="")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .analysis import check_program, normalize_program
+    from .frontend import parse_fortran as parse
+
+    source = args.file.read_text()
+    if _language_of(args) == "c":
+        from .analysis import convert_pointers
+        from .frontend import parse_c
+
+        program, info = parse_c(source)
+        program = convert_pointers(program, info)
+    else:
+        program = parse(source)
+    diagnostics = check_program(
+        normalize_program(program), _parse_assumptions(args.assume)
+    )
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if not diagnostics:
+        print("no problems found")
+    return 0 if not any(d.severity == "error" for d in diagnostics) else 2
+
+
+def _cmd_census(args) -> int:
+    source = args.file.read_text()
+    result = census_source(source, args.file.name)
+    print(
+        f"{result.name}: {result.linearized_nests} of {result.total_nests} "
+        f"outermost loop nests contain linearized references"
+    )
+    return 0
+
+
+def _cmd_delinearize(args) -> int:
+    problem = _parse_problem(
+        args.equation, args.bounds, args.pairs, args.assume
+    )
+    result = delinearize(problem, keep_trace=True)
+    print(f"equation: {problem}")
+    print(f"verdict:  {result.verdict}")
+    print(result.format_trace())
+    if result.verdict is not Verdict.INDEPENDENT:
+        vectors = ", ".join(sorted(str(v) for v in result.direction_vectors))
+        print(f"direction vectors: {vectors}")
+        if problem.common_levels:
+            print(
+                "distance-direction: "
+                f"{result.distance_direction_vector(problem.common_levels)}"
+            )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    problem = _parse_problem(args.equation, args.bounds, "", "")
+    small = problem.is_concrete() and problem.iteration_count() <= 2_000_000
+    results = run_all(
+        problem, include_exhaustive=small, include_extended=True
+    )
+    results["Delinearization"] = delinearize(problem).verdict
+    width = max(len(name) for name in results)
+    for name, verdict in results.items():
+        print(f"{name:{width}s}  {verdict}")
+    return 0
+
+
+def _cmd_riceps(args) -> int:
+    print(f"{'Program':10s} {'Lines':>6s} {'Paper':>6s} {'Measured':>9s}")
+    for profile in RICEPS_PROFILES:
+        generated = generate_riceps_program(profile, scale=args.scale)
+        result = census_source(generated.source, profile.name)
+        print(
+            f"{profile.name:10s} {profile.lines:6d} {profile.reported:>6s} "
+            f"{result.linearized_nests:9d}"
+        )
+    return 0
+
+
+# -- equation parsing -------------------------------------------------------
+
+
+def _parse_problem(
+    equation: str, bounds: str, pairs: str, assume: str
+) -> DependenceProblem:
+    from .deptests import BoundedVar
+    from .symbolic import Poly
+
+    bound_map = _parse_bindings(bounds)
+    expr = _parse_equation(equation, set(bound_map))
+    pair_list = []
+    if pairs:
+        for chunk in pairs.split(","):
+            a, _, b = chunk.partition(":")
+            pair_list.append((a.strip(), b.strip()))
+    pair_index: dict[str, tuple[int, int]] = {}
+    for level, (a, b) in enumerate(pair_list, start=1):
+        pair_index[a] = (level, 0)
+        pair_index[b] = (level, 1)
+    variables = []
+    for name, upper in bound_map.items():
+        level, side = pair_index.get(name, (None, None))
+        variables.append(BoundedVar(name, upper, level, side))
+    assumptions = _parse_assumptions(assume)
+    return DependenceProblem(
+        [expr], variables, common_levels=len(pair_list), assumptions=assumptions
+    )
+
+
+def _parse_assumptions(text: str) -> Assumptions:
+    """Parse 'N=2,M=1' into symbol lower bounds."""
+    if not text.strip():
+        return Assumptions.empty()
+    bounds = {
+        name: poly.as_int()
+        for name, poly in _parse_bindings(text).items()
+    }
+    return Assumptions(bounds)
+
+
+def _parse_bindings(text: str):
+    """Parse 'name=value,...' where values are integer expressions."""
+    from .symbolic import Poly
+
+    out: dict[str, Poly] = {}
+    if not text.strip():
+        return out
+    for chunk in text.split(","):
+        name, _, value = chunk.partition("=")
+        name = name.strip()
+        if not name or not value.strip():
+            raise ValueError(f"bad binding {chunk!r}")
+        out[name] = _parse_poly(value.strip())
+    return out
+
+
+def _parse_poly(text: str):
+    expr = _parse_scalar_expr(text)
+    lowered = to_linexpr(expr, set())
+    if lowered is None or not lowered.is_constant():
+        raise ValueError(f"not a loop-invariant expression: {text!r}")
+    return lowered.const
+
+
+def _parse_equation(text: str, variables: set[str]):
+    expr = _parse_scalar_expr(text)
+    lowered = to_linexpr(expr, variables)
+    if lowered is None:
+        raise ValueError(f"equation is not affine: {text!r}")
+    return lowered
+
+
+def _parse_scalar_expr(text: str):
+    """Parse an arithmetic expression using the FORTRAN expression parser."""
+    from .frontend.fortran import _FortranParser
+
+    tokens = tokenize(text, comment_chars="!")
+    parser = _FortranParser.__new__(_FortranParser)
+    parser.ts = TokenStream(tokens)
+    parser.implicit_arrays = set()
+    from .ir import Program
+
+    parser.program = Program()
+    expr = parser.parse_expr()
+    if not parser.ts.at_eof():
+        parser.ts.expect_end_of_line()
+    return expr

@@ -1,0 +1,28 @@
+"""The paper's contribution: the delinearization algorithm and theorem."""
+
+from .delinearize import (
+    DelinearizationResult,
+    TraceRow,
+    delinearize,
+)
+from .groups import GroupSolution, solve_group
+from .theorem import (
+    SplitCandidate,
+    condition_holds,
+    head_extremes,
+    make_candidate,
+    split_equation,
+)
+
+__all__ = [
+    "DelinearizationResult",
+    "GroupSolution",
+    "SplitCandidate",
+    "TraceRow",
+    "condition_holds",
+    "delinearize",
+    "head_extremes",
+    "make_candidate",
+    "solve_group",
+    "split_equation",
+]

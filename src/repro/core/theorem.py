@@ -1,0 +1,117 @@
+"""The delinearization theorem (paper, Section 3).
+
+For the constrained equation
+
+    c0 + c1*z1 + ... + cn*zn = 0,    zk in [0, Zk]
+
+the solution set equals the Cartesian product of the solution sets of
+
+    d0 + c1*z1 + ... + cm*zm = 0         (head)
+    D0 + c_{m+1}*z_{m+1} + ... + cn*zn = 0   (tail)
+
+whenever there exist integers m, d0, D0 with c0 = d0 + D0 and
+
+    gcd(D0, c_{m+1}, ..., cn)  >  max(|d0 + sum_{k<=m} ck^- Zk|,
+                                       |d0 + sum_{k<=m} ck^+ Zk|).
+
+This module provides a direct checker for the condition (used by the
+algorithm, by tests, and by the ablation benchmarks) that works for both
+concrete integers and symbolic polynomial coefficients under assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..symbolic import Assumptions, LinExpr, Poly, PolyLike, poly_gcd_many
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """A candidate split: head terms, tail terms, and the c0 decomposition."""
+
+    head: tuple[tuple[str, Poly, Poly], ...]  # (var, coeff, upper bound)
+    tail: tuple[tuple[str, Poly, Poly], ...]
+    d0: Poly
+    big_d0: Poly  # D0
+
+    @property
+    def tail_gcd(self) -> Poly:
+        return poly_gcd_many([self.big_d0, *(c for _, c, _ in self.tail)])
+
+
+def head_extremes(
+    head: tuple[tuple[str, Poly, Poly], ...],
+    d0: Poly,
+    assumptions: Assumptions,
+) -> tuple[Poly, Poly] | None:
+    """(min, max) of ``d0 + sum ck zk`` over the head box, or None if unknown."""
+    minimum = d0
+    maximum = d0
+    for _, coeff, upper in head:
+        if assumptions.is_nonneg(upper) is None:
+            return None
+        sign = assumptions.sign(coeff)
+        if sign is None:
+            return None
+        if sign > 0:
+            maximum = maximum + coeff * upper
+        elif sign < 0:
+            minimum = minimum + coeff * upper
+    return minimum, maximum
+
+
+def condition_holds(
+    candidate: SplitCandidate, assumptions: Assumptions | None = None
+) -> bool:
+    """Check the theorem inequality (8) for a candidate split.
+
+    Sound and incomplete for symbolic coefficients: True means the split is
+    proven legal; False means it could not be proven.
+    """
+    assumptions = assumptions or Assumptions.empty()
+    extremes = head_extremes(candidate.head, candidate.d0, assumptions)
+    if extremes is None:
+        return False
+    minimum, maximum = extremes
+    gcd = candidate.tail_gcd
+    if gcd.is_zero():
+        # Tail is empty and D0 == 0: gcd is "infinite", condition holds.
+        return not candidate.tail and candidate.big_d0.is_zero()
+    # max(|min|, |max|) < gcd  <=>  -gcd < min  and  max < gcd.
+    return bool(
+        assumptions.is_lt(maximum, gcd) and assumptions.is_lt(-gcd, minimum)
+    )
+
+
+def split_equation(
+    equation: LinExpr,
+    head_vars: list[str],
+    d0: PolyLike,
+) -> tuple[LinExpr, LinExpr]:
+    """The (head, tail) equations of a split: ``d0 + head`` and ``D0 + tail``."""
+    d0 = Poly.coerce(d0)
+    head = LinExpr({v: equation.coeff(v) for v in head_vars}, d0)
+    tail_vars = equation.variables() - set(head_vars)
+    tail = LinExpr(
+        {v: equation.coeff(v) for v in tail_vars}, equation.const - d0
+    )
+    return head, tail
+
+
+def make_candidate(
+    equation: LinExpr,
+    bounds: dict[str, Poly],
+    head_vars: list[str],
+    d0: PolyLike,
+) -> SplitCandidate:
+    """Build a :class:`SplitCandidate` for checking."""
+    d0 = Poly.coerce(d0)
+    head = tuple(
+        (v, equation.coeff(v), bounds[v]) for v in head_vars
+    )
+    tail = tuple(
+        (v, equation.coeff(v), bounds[v])
+        for v in sorted(equation.variables() - set(head_vars))
+    )
+    return SplitCandidate(head, tail, d0, equation.const - d0)

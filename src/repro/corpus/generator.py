@@ -1,0 +1,213 @@
+"""Synthetic FORTRAN-77 corpus generator.
+
+Generates deterministic programs with a *planted* number of loop nests that
+contain linearized references, in the styles the paper catalogues:
+
+* ``hand``       — explicit hand-linearized subscripts, ``C(i + 10*j + c)``;
+* ``runtime``    — run-time dimensioning, symbolic strides ``B(i + NX*j)``;
+* ``induction``  — a multi-loop induction variable (the BOAST ``IB`` shape),
+  which only *becomes* a linearized reference after IV substitution;
+* ``equivalence``— two differently-shaped EQUIVALENCE'd arrays, which only
+  become linearized references after alias linearization;
+* ``common``     — a 2-D array in a COMMON block, whose references become
+  linearized once the block's storage association is applied.
+
+Everything else in a generated program (plain nests, scalar filler) is
+guaranteed non-linearized, so the detector pipeline must recover exactly the
+planted count.  Programs are emitted as source text and parsed back through
+the real frontend: the corpus exercises the whole pipeline, not an IR
+shortcut.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .riceps import RicepsProfile
+
+STYLES = ("hand", "runtime", "induction", "equivalence", "common")
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated source program plus ground-truth bookkeeping."""
+
+    name: str
+    source: str
+    planted_linearized: int
+    planted_plain: int
+    styles_used: list[str] = field(default_factory=list)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+
+def generate_program(
+    name: str,
+    lines: int,
+    linearized_nests: int,
+    seed: int = 0,
+    styles: tuple[str, ...] = STYLES,
+) -> GeneratedProgram:
+    """Generate a program of roughly ``lines`` lines with the planted count."""
+    rng = random.Random(seed)
+    builder = _Builder(rng)
+    styles_used: list[str] = []
+    for index in range(linearized_nests):
+        style = styles[index % len(styles)]
+        builder.add_linearized_nest(style, index)
+        styles_used.append(style)
+    plain = 0
+    while builder.line_estimate() < lines:
+        builder.add_plain_nest(plain)
+        plain += 1
+    source = builder.render()
+    return GeneratedProgram(name, source, linearized_nests, plain, styles_used)
+
+
+def generate_riceps_program(
+    profile: RicepsProfile, scale: float = 1.0
+) -> GeneratedProgram:
+    """Generate the synthetic stand-in for one RiCEPS profile row."""
+    return generate_program(
+        profile.name,
+        max(int(profile.lines * scale), 12),
+        profile.linearized_nests,
+        seed=profile.seed(),
+    )
+
+
+class _Builder:
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.decls: list[str] = []
+        self.pre_body: list[str] = []
+        self.body: list[str] = []
+        self.counter = 0
+
+    def line_estimate(self) -> int:
+        return len(self.decls) + len(self.pre_body) + len(self.body)
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # -- nest builders ------------------------------------------------------
+
+    def add_linearized_nest(self, style: str, index: int) -> None:
+        if style == "hand":
+            self._hand_linearized()
+        elif style == "runtime":
+            self._runtime_dimensioned()
+        elif style == "induction":
+            self._induction_nest()
+        elif style == "equivalence":
+            self._equivalence_nest()
+        elif style == "common":
+            self._common_nest()
+        else:
+            raise ValueError(f"unknown style {style!r}")
+
+    def _hand_linearized(self) -> None:
+        array = self.fresh("CL")
+        stride = self.rng.choice((8, 10, 16, 20))
+        inner = self.rng.randrange(1, stride)
+        outer = self.rng.randrange(4, 12)
+        shift = self.rng.randrange(1, stride)
+        size = stride * (outer + 1)
+        self.decls.append(f"REAL {array}(0:{size - 1})")
+        self.body.extend(
+            [
+                f"DO 1{self.counter} i = 0, {inner - 1}",
+                f"DO 1{self.counter} j = 0, {outer - 1}",
+                f"1{self.counter} {array}(i+{stride}*j) = "
+                f"{array}(i+{stride}*j+{shift}) * 2",
+            ]
+        )
+
+    def _runtime_dimensioned(self) -> None:
+        array = self.fresh("RD")
+        self.decls.append(f"REAL {array}(0:NX*NY-1)")
+        self.body.extend(
+            [
+                f"DO 1{self.counter} i = 0, NX-1",
+                f"DO 1{self.counter} j = 0, NY-1",
+                f"1{self.counter} {array}(i+NX*j) = {array}(i+NX*j) + 1",
+            ]
+        )
+
+    def _induction_nest(self) -> None:
+        array = self.fresh("IV")
+        counter_var = self.fresh("IB")
+        ni = self.rng.randrange(3, 7)
+        nj = self.rng.randrange(3, 7)
+        self.decls.append(f"REAL {array}(0:{ni * nj - 1})")
+        self.body.extend(
+            [
+                f"{counter_var} = -1",
+                f"DO 2{self.counter} i = 0, {ni - 1}",
+                f"DO 2{self.counter} j = 0, {nj - 1}",
+                f"{counter_var} = {counter_var} + 1",
+                f"2{self.counter} {array}({counter_var}) = "
+                f"{array}({counter_var}) + 1",
+            ]
+        )
+
+    def _equivalence_nest(self) -> None:
+        a = self.fresh("EA")
+        b = self.fresh("EB")
+        self.decls.append(f"REAL {a}(0:9,0:9)")
+        self.decls.append(f"REAL {b}(0:4,0:19)")
+        self.decls.append(f"EQUIVALENCE ({a}, {b})")
+        self.body.extend(
+            [
+                f"DO 3{self.counter} i = 0, 4",
+                f"DO 3{self.counter} j = 0, 9",
+                f"3{self.counter} {a}(i, j) = {b}(i, 2*j+1)",
+            ]
+        )
+
+    def _common_nest(self) -> None:
+        array = self.fresh("CM")
+        n = self.rng.randrange(4, 9)
+        self.decls.append(f"REAL {array}(0:{n - 1},0:{n - 1})")
+        self.decls.append(f"COMMON /BK{self.counter}/ {array}")
+        self.body.extend(
+            [
+                f"DO 6{self.counter} i = 0, {n - 2}",
+                f"DO 6{self.counter} j = 0, {n - 1}",
+                f"6{self.counter} {array}(i+1, j) = {array}(i, j) * 2",
+            ]
+        )
+
+    def add_plain_nest(self, index: int) -> None:
+        array = self.fresh("P")
+        size = self.rng.randrange(20, 200)
+        shape = self.rng.choice(("1d", "2d", "scalarwork"))
+        if shape == "1d":
+            shift = self.rng.randrange(0, 3)
+            self.decls.append(f"REAL {array}(0:{size + shift})")
+            self.body.extend(
+                [
+                    f"DO 4{self.counter} i = 0, {size - 1}",
+                    f"4{self.counter} {array}(i+{shift}) = {array}(i) + 1",
+                ]
+            )
+        elif shape == "2d":
+            n = self.rng.randrange(4, 20)
+            self.decls.append(f"REAL {array}(0:{n},0:{n})")
+            self.body.extend(
+                [
+                    f"DO 5{self.counter} i = 0, {n - 1}",
+                    f"DO 5{self.counter} j = 0, {n - 1}",
+                    f"5{self.counter} {array}(i, j) = {array}(i+1, j) * 2",
+                ]
+            )
+        else:
+            scalar = self.fresh("T")
+            self.body.append(f"{scalar} = {self.rng.randrange(1, 99)}")
+
+    def render(self) -> str:
+        return "\n".join(self.decls + self.pre_body + self.body) + "\n"

@@ -1,0 +1,15 @@
+"""Program-level dependence graphs."""
+
+from .builder import (
+    Dependence,
+    DependenceGraph,
+    analyze_dependences,
+    dependences_for_arrays,
+)
+
+__all__ = [
+    "Dependence",
+    "DependenceGraph",
+    "analyze_dependences",
+    "dependences_for_arrays",
+]

@@ -1,0 +1,315 @@
+"""Dependence graph construction for whole programs.
+
+Ties the pipeline together: normalize, bound, pair up references, run
+delinearization (or any configured test) on each pair, classify the results
+as flow/anti/output/input dependences with direction and distance-direction
+vectors, and collect everything into a :class:`DependenceGraph`.
+
+Classification conventions (paper Section 2, classic orientation):
+
+* each reference pair is analyzed once with the textually-first reference as
+  side 0 ("alpha");
+* a feasible atomic direction whose first non-'=' element is '<' means the
+  side-0 instance executes first: the dependence runs side0 -> side1;
+* '>' means the side-1 instance executes first: the edge is reported
+  side1 -> side0 with the direction vector reversed (so reported vectors are
+  always lexicographically non-negative, and reported distances are the
+  sink-minus-source iteration differences);
+* the all-'=' vector is a dependence only from the textually earlier access
+  to the later one inside a single iteration (reads of a statement execute
+  before its write);
+* write/write = output, write/read = flow, read/write = anti,
+  read/read = input (off by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..analysis.normalize import normalize_program, rectangular_bounds
+from ..analysis.refpairs import PairProblem, build_pair_problem
+from ..core.delinearize import DelinearizationResult, delinearize
+from ..deptests.problem import Verdict
+from ..dirvec.vectors import (
+    D_EQ,
+    DirVec,
+    DistanceElem,
+    DistanceVec,
+    summarize,
+)
+from ..ir import Program, RefContext, collect_refs
+from ..symbolic import Assumptions, Poly
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence edge of the graph."""
+
+    source: RefContext
+    sink: RefContext
+    kind: str  # "flow" | "anti" | "output" | "input"
+    direction: DirVec
+    distance: DistanceVec | None = None
+    assumed: bool = False  # True when analysis gave up (conservative edge)
+
+    def pair_label(self) -> str:
+        return (
+            f"{self.source.stmt.label}:{self.source.ref.array} -> "
+            f"{self.sink.stmt.label}:{self.sink.ref.array}"
+        )
+
+    def __str__(self) -> str:
+        distance = f" distance {self.distance}" if self.distance else ""
+        flag = " (assumed)" if self.assumed else ""
+        return (
+            f"{self.pair_label()} {self.kind} {self.direction}{distance}{flag}"
+        )
+
+
+@dataclass
+class DependenceGraph:
+    """All dependences of a program, plus the analyzed program itself."""
+
+    program: Program
+    edges: list[Dependence] = field(default_factory=list)
+
+    def between(self, source_label: str, sink_label: str) -> list[Dependence]:
+        return [
+            e
+            for e in self.edges
+            if e.source.stmt.label == source_label
+            and e.sink.stmt.label == sink_label
+        ]
+
+    def carried_by_level(self, level: int) -> list[Dependence]:
+        """Edges whose outermost non-'=' direction position is ``level``."""
+        out = []
+        for edge in self.edges:
+            positions = [i for i, e in enumerate(edge.direction, 1) if e != D_EQ]
+            if positions and positions[0] == level:
+                out.append(edge)
+        return out
+
+    def loop_independent(self) -> list[Dependence]:
+        return [e for e in self.edges if e.direction.is_all_equal()]
+
+    def format_table(self) -> str:
+        lines = ["Pair of references | kind | direction | distance-direction"]
+        for edge in self.edges:
+            distance = str(edge.distance) if edge.distance else "-"
+            lines.append(
+                f"{edge.pair_label()} | {edge.kind} | {edge.direction} | {distance}"
+            )
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz DOT format (one node per statement).
+
+        Edge styling follows convention: solid = flow, dashed = anti,
+        bold = output, dotted = input/assumed.
+        """
+        styles = {
+            "flow": "solid",
+            "anti": "dashed",
+            "output": "bold",
+            "input": "dotted",
+            "scalar": "dotted",
+        }
+        lines = ["digraph dependences {", "  rankdir=TB;"]
+        statements = {
+            stmt.label: stmt for stmt, _ in self.program.walk_statements()
+        }
+        for label, stmt in statements.items():
+            text = str(stmt).replace('"', "'")
+            lines.append(f'  {label} [shape=box, label="{label}: {text}"];')
+        for edge in self.edges:
+            style = styles.get(edge.kind, "solid")
+            annotation = f"{edge.kind} {edge.direction}"
+            if edge.distance:
+                annotation += f" {edge.distance}"
+            if edge.assumed:
+                annotation += " (assumed)"
+            lines.append(
+                f"  {edge.source.stmt.label} -> {edge.sink.stmt.label} "
+                f'[style={style}, label="{annotation}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def analyze_dependences(
+    program: Program,
+    assumptions: Assumptions | None = None,
+    include_input: bool = False,
+    normalized: bool = False,
+) -> DependenceGraph:
+    """Build the dependence graph of a program using delinearization."""
+    assumptions = assumptions or Assumptions.empty()
+    analyzed = program if normalized else normalize_program(program)
+    bounds = rectangular_bounds(analyzed)
+    graph = DependenceGraph(analyzed)
+
+    order = {
+        stmt.label: index
+        for index, (stmt, _) in enumerate(analyzed.walk_statements())
+    }
+    by_array: dict[str, list[RefContext]] = {}
+    for ref in collect_refs(analyzed):
+        by_array.setdefault(ref.ref.array, []).append(ref)
+
+    for array_refs in by_array.values():
+        for i, first in enumerate(array_refs):
+            for second in array_refs[i:]:
+                if not (first.is_write or second.is_write):
+                    if not include_input:
+                        continue
+                if first is second and not first.is_write:
+                    continue  # self input dependences are meaningless
+                _analyze_pair(
+                    graph, first, second, bounds, assumptions, order
+                )
+    return graph
+
+
+def _analyze_pair(
+    graph: DependenceGraph,
+    first: RefContext,
+    second: RefContext,
+    bounds: dict[str, Poly],
+    assumptions: Assumptions,
+    order: dict[str, int],
+) -> None:
+    pair = build_pair_problem(first, second, bounds, assumptions)
+    if pair.problem is None:
+        _add_assumed_edges(graph, first, second, pair)
+        return
+    result = delinearize(pair.problem)
+    if result.verdict is Verdict.INDEPENDENT:
+        return
+    forward: set[DirVec] = set()
+    backward: set[DirVec] = set()
+    identity = False
+    vectors = result.direction_vectors or {DirVec.star(pair.common_levels)}
+    for vector in vectors:
+        for atomic in vector.atomic_vectors():
+            klass = DirVec._atomic_class(atomic)
+            if klass == "positive":
+                forward.add(atomic)
+            elif klass == "negative":
+                backward.add(atomic.reversed_directions())
+            else:
+                identity = True
+    if first is second:
+        # A self pair sees every unordered solution twice (once per
+        # orientation); the backward set mirrors the forward one.  The
+        # all-'=' identity is the same statement instance: not a dependence.
+        backward = set()
+        identity = False
+    if identity and first.stmt.label != second.stmt.label:
+        # Same-statement identity pairs (a statement reading what it writes
+        # in the same instance) are guaranteed read-before-write by any
+        # execution model, including vector semantics: not recorded.
+        if _executes_before(first, second, order):
+            forward.add(DirVec([D_EQ] * pair.common_levels))
+        else:
+            backward.add(DirVec([D_EQ] * pair.common_levels))
+
+    for direction in summarize(forward):
+        graph.edges.append(
+            _make_edge(first, second, direction, result, negate=False)
+        )
+    for direction in summarize(backward):
+        graph.edges.append(
+            _make_edge(second, first, direction, result, negate=True)
+        )
+
+
+def _make_edge(
+    source: RefContext,
+    sink: RefContext,
+    direction: DirVec,
+    result: DelinearizationResult,
+    negate: bool,
+) -> Dependence:
+    distance = _distance_for(direction, result, negate)
+    return Dependence(
+        source,
+        sink,
+        _kind(source.is_write, sink.is_write),
+        direction,
+        distance,
+    )
+
+
+def _distance_for(
+    direction: DirVec, result: DelinearizationResult, negate: bool
+) -> DistanceVec | None:
+    if not result.distances:
+        return None
+    elements = []
+    for level in range(1, len(direction) + 1):
+        pinned = result.distances.get(level)
+        if pinned is not None and pinned.is_constant():
+            value = pinned.as_int()
+            elements.append(DistanceElem.exact(-value if negate else value))
+        else:
+            elements.append(DistanceElem.unknown(direction[level - 1]))
+    return DistanceVec(elements)
+
+
+def _kind(source_writes: bool, sink_writes: bool) -> str:
+    if source_writes and sink_writes:
+        return "output"
+    if source_writes:
+        return "flow"
+    if sink_writes:
+        return "anti"
+    return "input"
+
+
+def _executes_before(
+    first: RefContext, second: RefContext, order: dict[str, int]
+) -> bool:
+    if first.stmt.label != second.stmt.label:
+        return order[first.stmt.label] < order[second.stmt.label]
+    # Within one statement instance the reads happen before the write.
+    return not first.is_write
+
+
+def _add_assumed_edges(
+    graph: DependenceGraph,
+    first: RefContext,
+    second: RefContext,
+    pair: PairProblem,
+) -> None:
+    """Conservative edges when no dimension was analyzable."""
+    star = DirVec.star(pair.common_levels)
+    graph.edges.append(
+        Dependence(
+            first,
+            second,
+            _kind(first.is_write, second.is_write),
+            star,
+            None,
+            assumed=True,
+        )
+    )
+    if first is not second:
+        graph.edges.append(
+            Dependence(
+                second,
+                first,
+                _kind(second.is_write, first.is_write),
+                star,
+                None,
+                assumed=True,
+            )
+        )
+
+
+def dependences_for_arrays(
+    graph: DependenceGraph, arrays: Iterable[str]
+) -> list[Dependence]:
+    wanted = set(arrays)
+    return [e for e in graph.edges if e.source.ref.array in wanted]

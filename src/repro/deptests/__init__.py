@@ -1,0 +1,63 @@
+"""Classical dependence tests (the baselines the paper compares against).
+
+All tests share the :class:`~repro.deptests.problem.DependenceProblem`
+representation and return a :class:`~repro.deptests.problem.Verdict`:
+
+* ``INDEPENDENT`` — proven: no integer solution, no dependence;
+* ``DEPENDENT``   — proven: an integer solution exists;
+* ``MAYBE``       — the test cannot decide (treated as dependent by a
+  conservative compiler).
+"""
+
+from .acyclic import acyclic_test
+from .banerjee import (
+    banerjee_test,
+    equation_banerjee_verdict,
+    equation_bounds,
+    gcd_banerjee_test,
+)
+from .exhaustive import (
+    TooLarge,
+    exhaustive_direction_vectors,
+    exhaustive_distance_vectors,
+    exhaustive_test,
+)
+from .fourier_motzkin import fourier_motzkin_test
+from .gcd import equation_gcd_verdict, gcd_test
+from .gcd_system import diophantine_solvable, generalized_gcd_test
+from .lambda_test import lambda_combinations, lambda_test
+from .loop_residue import shostak_test, simple_loop_residue_test
+from .omega import omega_test
+from .problem import BoundedVar, DependenceProblem, Verdict
+from .suite import CLASSICAL_TESTS, EXTENDED_TESTS, disproving_tests, run_all
+from .svpc import svpc_test
+
+__all__ = [
+    "BoundedVar",
+    "CLASSICAL_TESTS",
+    "DependenceProblem",
+    "EXTENDED_TESTS",
+    "TooLarge",
+    "Verdict",
+    "acyclic_test",
+    "banerjee_test",
+    "diophantine_solvable",
+    "disproving_tests",
+    "equation_banerjee_verdict",
+    "equation_bounds",
+    "equation_gcd_verdict",
+    "exhaustive_direction_vectors",
+    "exhaustive_distance_vectors",
+    "exhaustive_test",
+    "fourier_motzkin_test",
+    "gcd_banerjee_test",
+    "gcd_test",
+    "generalized_gcd_test",
+    "lambda_combinations",
+    "lambda_test",
+    "omega_test",
+    "run_all",
+    "shostak_test",
+    "simple_loop_residue_test",
+    "svpc_test",
+]

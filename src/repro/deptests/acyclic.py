@@ -1,0 +1,224 @@
+"""An acyclic / constraint-propagation test in the spirit of [MHL91].
+
+Maydan, Hennessy and Lam's acyclic test solves sparse dependence systems
+whose constraint graph is a forest by eliminating variables from the leaves
+inward, carrying value ranges.  We implement the propagation engine in its
+natural general form: every variable carries an interval ``[lo, hi]`` and a
+congruence ``value ≡ residue (mod modulus)``, and each equation repeatedly
+tightens each of its variables from the others' state.
+
+* an emptied interval or unsatisfiable congruence proves INDEPENDENT;
+* when every variable is pinned to a single value, the point is verified
+  and the test answers exactly (DEPENDENT / INDEPENDENT);
+* otherwise MAYBE.
+
+On acyclic (forest) systems with unit coefficients the propagation reaches
+the same conclusions as the original test; on the paper's intro equation (1)
+it makes no progress — all four variables share one equation with mixed
+coefficient magnitudes — which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .problem import DependenceProblem, Verdict
+
+_MAX_ROUNDS = 64
+
+
+@dataclass
+class _VarState:
+    lo: int
+    hi: int
+    residue: int = 0
+    modulus: int = 1
+
+    def pinned(self) -> bool:
+        return self.lo == self.hi
+
+    def tighten_interval(self, lo: int, hi: int) -> bool:
+        """Intersect; returns True when something changed."""
+        new_lo, new_hi = max(self.lo, lo), min(self.hi, hi)
+        changed = (new_lo, new_hi) != (self.lo, self.hi)
+        self.lo, self.hi = new_lo, new_hi
+        return changed
+
+    def tighten_congruence(self, residue: int, modulus: int) -> bool | None:
+        """CRT-merge a congruence; None signals inconsistency."""
+        if modulus <= 1:
+            return False
+        gcd = math.gcd(self.modulus, modulus)
+        if (residue - self.residue) % gcd != 0:
+            return None
+        lcm = self.modulus // gcd * modulus
+        if lcm == self.modulus:
+            return False
+        # Solve x ≡ self.residue (mod self.modulus), x ≡ residue (mod modulus).
+        step = self.modulus
+        value = self.residue
+        while value % modulus != residue % modulus:
+            value += step
+        self.residue = value % lcm
+        self.modulus = lcm
+        return True
+
+    def align_interval_to_congruence(self) -> bool:
+        """Shrink [lo, hi] to the smallest/largest admissible residues."""
+        if self.modulus == 1:
+            return False
+        lo = self.lo + ((self.residue - self.lo) % self.modulus)
+        hi = self.hi - ((self.hi - self.residue) % self.modulus)
+        changed = (lo, hi) != (self.lo, self.hi)
+        self.lo, self.hi = lo, hi
+        return changed
+
+    def feasible(self) -> bool:
+        return self.lo <= self.hi
+
+
+def acyclic_test(problem: DependenceProblem) -> Verdict:
+    if not problem.is_concrete():
+        return Verdict.MAYBE
+    if not _is_acyclic(problem):
+        return Verdict.MAYBE
+    state = {
+        name: _VarState(0, var.upper.as_int())
+        for name, var in problem.variables.items()
+    }
+    if any(not s.feasible() for s in state.values()):
+        return Verdict.INDEPENDENT
+
+    equations = [
+        (
+            {name: coeff.as_int() for name, coeff in eq.coeffs.items()},
+            eq.const.as_int(),
+        )
+        for eq in problem.equations
+    ]
+
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for coeffs, constant in equations:
+            if not coeffs:
+                if constant != 0:
+                    return Verdict.INDEPENDENT
+                continue
+            for target in coeffs:
+                result = _tighten(target, coeffs, constant, state)
+                if result is None:
+                    return Verdict.INDEPENDENT
+                changed |= result
+        if not changed:
+            break
+
+    if all(s.pinned() for s in state.values()):
+        point = {name: s.lo for name, s in state.items()}
+        if problem.is_solution(point):
+            return Verdict.DEPENDENT
+        return Verdict.INDEPENDENT
+    return Verdict.MAYBE
+
+
+def _is_acyclic(problem: DependenceProblem) -> bool:
+    """Applicability gate: the variable-interaction graph must be a forest.
+
+    Every equation connects all of its variables pairwise; an equation with
+    three or more variables therefore forms a cycle outright, and two
+    equations linking the same pair of variables do too.  This is the
+    restriction that keeps the original test cheap — and the reason it
+    cannot handle the paper's intro equation (1), whose single equation
+    couples four variables.
+    """
+    parent: dict[str, str] = {name: name for name in problem.variables}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for equation in problem.equations:
+        names = sorted(equation.variables())
+        if len(names) >= 3:
+            return False
+        if len(names) == 2:
+            root_a, root_b = find(names[0]), find(names[1])
+            if root_a == root_b:
+                return False
+            parent[root_a] = root_b
+    return True
+
+
+def _tighten(
+    target: str,
+    coeffs: dict[str, int],
+    constant: int,
+    state: dict[str, _VarState],
+) -> bool | None:
+    """Tighten one variable from one equation; None signals infeasibility."""
+    a = coeffs[target]
+    # Range of rhs = -(constant + sum of other terms).
+    rhs_lo = rhs_hi = -constant
+    other_gcd = 0
+    other_residue = 0
+    for name, coeff in coeffs.items():
+        if name == target:
+            continue
+        var = state[name]
+        lo_term = min(coeff * var.lo, coeff * var.hi)
+        hi_term = max(coeff * var.lo, coeff * var.hi)
+        rhs_lo -= hi_term
+        rhs_hi -= lo_term
+        other_gcd = math.gcd(other_gcd, abs(coeff) * var.modulus)
+        other_residue += coeff * var.residue
+
+    changed = False
+    var = state[target]
+
+    # Interval: a * x in [rhs_lo, rhs_hi], so for a > 0
+    # x in [ceil(rhs_lo / a), floor(rhs_hi / a)] and the ends swap for a < 0.
+    lo = _ceil_div(rhs_lo, a) if a > 0 else _ceil_div(rhs_hi, a)
+    hi = _floor_div(rhs_hi, a) if a > 0 else _floor_div(rhs_lo, a)
+    changed |= var.tighten_interval(lo, hi)
+    if not var.feasible():
+        return None
+
+    # Congruence: a*x ≡ -(constant + other_residue) (mod other_gcd).
+    if other_gcd > 1 or (not any(n != target for n in coeffs)):
+        modulus = other_gcd if other_gcd else 0
+        b = -(constant + other_residue)
+        if modulus == 0:
+            # x is the only variable: a*x = b exactly.
+            if b % a != 0:
+                return None
+            value = b // a
+            changed |= var.tighten_interval(value, value)
+            if not var.feasible():
+                return None
+        else:
+            d = math.gcd(abs(a), modulus)
+            if b % d != 0:
+                return None
+            reduced_mod = modulus // d
+            if reduced_mod > 1:
+                inv = pow((a // d) % reduced_mod, -1, reduced_mod)
+                residue = ((b // d) % reduced_mod) * inv % reduced_mod
+                merged = var.tighten_congruence(residue, reduced_mod)
+                if merged is None:
+                    return None
+                changed |= merged
+    aligned = var.align_interval_to_congruence()
+    changed |= aligned
+    if not var.feasible():
+        return None
+    return changed
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)

@@ -1,0 +1,92 @@
+"""Banerjee inequalities [AK87, WB87].
+
+For each equation the left-hand side ``c0 + sum(ck * zk)`` with
+``zk in [0, Zk]`` ranges over the real interval
+
+    [c0 + sum(ck^- * Zk),  c0 + sum(ck^+ * Zk)]
+
+where ``c^+ = max(c, 0)`` and ``c^- = min(c, 0)``.  If 0 lies outside the
+interval the equation (hence the dependence) is impossible.  The test is
+exact over the *reals* for a single equation, which is precisely why it
+cannot disprove the paper's intro equation (1): that equation has real
+solutions but no integer ones.
+
+Direction-vector constrained Banerjee bounds are obtained by running this
+test on ``problem.with_direction(dirvec)`` — the substitution formulation is
+algebraically identical to the textbook per-direction bound formulas.
+
+Symbolic coefficients are supported when their signs are provable from the
+problem's :class:`~repro.symbolic.assumptions.Assumptions`.
+"""
+
+from __future__ import annotations
+
+from ..symbolic import Assumptions, LinExpr, Poly
+from .problem import BoundedVar, DependenceProblem, Verdict
+
+
+def banerjee_test(problem: DependenceProblem) -> Verdict:
+    """Banerjee inequalities over every equation of the problem."""
+    for equation in problem.equations:
+        verdict = equation_banerjee_verdict(
+            equation, problem.variables, problem.assumptions
+        )
+        if verdict is Verdict.INDEPENDENT:
+            return Verdict.INDEPENDENT
+    return Verdict.MAYBE
+
+
+def equation_bounds(
+    equation: LinExpr,
+    variables: dict[str, BoundedVar],
+    assumptions: Assumptions,
+) -> tuple[Poly, Poly] | None:
+    """The (lower, upper) range of the equation's left-hand side.
+
+    Returns None when a coefficient's sign (or the sign of an upper bound)
+    cannot be proven, making the extreme values unknown.
+    """
+    lower = equation.const
+    upper = equation.const
+    for name, coeff in equation.coeffs.items():
+        bound = variables[name].upper
+        if assumptions.is_nonneg(bound) is None:
+            return None
+        contribution = coeff * bound
+        sign = assumptions.sign(coeff)
+        if sign is None:
+            return None
+        if sign > 0:
+            upper = upper + contribution
+        elif sign < 0:
+            lower = lower + contribution
+    return lower, upper
+
+
+def equation_banerjee_verdict(
+    equation: LinExpr,
+    variables: dict[str, BoundedVar],
+    assumptions: Assumptions | None = None,
+) -> Verdict:
+    """Banerjee verdict for a single equation."""
+    assumptions = assumptions or Assumptions.empty()
+    bounds = equation_bounds(equation, variables, assumptions)
+    if bounds is None:
+        return Verdict.MAYBE
+    lower, upper = bounds
+    if assumptions.is_pos(lower) or assumptions.is_neg(upper):
+        return Verdict.INDEPENDENT
+    return Verdict.MAYBE
+
+
+def gcd_banerjee_test(problem: DependenceProblem) -> Verdict:
+    """GCD test and Banerjee inequalities combined.
+
+    This is the precision the paper proves its algorithm achieves "on the
+    fly" for each separated dimension.
+    """
+    from .gcd import gcd_test
+
+    if gcd_test(problem) is Verdict.INDEPENDENT:
+        return Verdict.INDEPENDENT
+    return banerjee_test(problem)

@@ -1,0 +1,78 @@
+"""Exhaustive integer enumeration: the ground-truth oracle.
+
+Dependence testing is integer programming; on the small iteration spaces of
+the paper's examples (and of generated test cases) we can simply enumerate.
+Every other test's soundness is property-checked against this module.
+"""
+
+from __future__ import annotations
+
+from ..dirvec.vectors import DirVec, DistanceElem, DistanceVec
+from .problem import DependenceProblem, Verdict
+
+
+class TooLarge(Exception):
+    """The iteration space exceeds the enumeration budget."""
+
+
+def exhaustive_test(
+    problem: DependenceProblem, max_points: int = 2_000_000
+) -> Verdict:
+    """Exact INDEPENDENT/DEPENDENT by enumeration (concrete problems only)."""
+    if not problem.is_concrete():
+        return Verdict.MAYBE
+    _check_size(problem, max_points)
+    for _ in problem.enumerate_solutions():
+        return Verdict.DEPENDENT
+    return Verdict.INDEPENDENT
+
+
+def exhaustive_direction_vectors(
+    problem: DependenceProblem, max_points: int = 2_000_000
+) -> set[DirVec]:
+    """The exact set of atomic direction vectors realized by solutions."""
+    _check_size(problem, max_points)
+    out: set[DirVec] = set()
+    for solution in problem.enumerate_solutions():
+        out.add(problem.direction_of_solution(solution))
+    return out
+
+
+def exhaustive_distance_vectors(
+    problem: DependenceProblem, max_points: int = 2_000_000
+) -> DistanceVec | None:
+    """The exact distance-direction vector summary, or None when independent.
+
+    Each level gets an exact distance when all solutions agree on
+    ``beta - alpha`` (sink minus source) and a direction element otherwise.
+    """
+    _check_size(problem, max_points)
+    distances: list[set[int]] = [set() for _ in range(problem.common_levels)]
+    directions: set[DirVec] = set()
+    found = False
+    for solution in problem.enumerate_solutions():
+        found = True
+        directions.add(problem.direction_of_solution(solution))
+        for index, (alpha, beta) in enumerate(problem.level_pairs()):
+            distances[index].add(solution[beta.name] - solution[alpha.name])
+    if not found:
+        return None
+    elements = []
+    for index in range(problem.common_levels):
+        values = distances[index]
+        if len(values) == 1:
+            elements.append(DistanceElem.exact(next(iter(values))))
+        else:
+            merged = None
+            for vec in directions:
+                merged = vec[index] if merged is None else (merged | vec[index])
+            elements.append(DistanceElem.unknown(merged))
+    return DistanceVec(elements)
+
+
+def _check_size(problem: DependenceProblem, max_points: int) -> None:
+    count = problem.iteration_count()
+    if count > max_points:
+        raise TooLarge(
+            f"{count} points exceed the enumeration budget of {max_points}"
+        )

@@ -1,0 +1,39 @@
+"""The GCD test [AK87, Ban88].
+
+A linear equation ``c0 + sum(ck * zk) = 0`` has integer solutions (ignoring
+bounds) iff ``gcd(c1..cn)`` divides ``c0``.  The test proves independence
+when the divisibility fails; it never proves dependence (bounds are ignored).
+
+The test applies to concrete (integer) problems; symbolic coefficients make
+divisibility undecidable without value knowledge, so such problems answer
+MAYBE (the delinearization core handles symbolic cases soundly instead).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..symbolic import LinExpr
+from .problem import DependenceProblem, Verdict
+
+
+def gcd_test(problem: DependenceProblem) -> Verdict:
+    """Run the GCD test on every equation; any failure proves independence."""
+    for equation in problem.equations:
+        if equation_gcd_verdict(equation) is Verdict.INDEPENDENT:
+            return Verdict.INDEPENDENT
+    return Verdict.MAYBE
+
+
+def equation_gcd_verdict(equation: LinExpr) -> Verdict:
+    """GCD verdict for one equation (MAYBE when symbolic or divisible)."""
+    if not equation.is_integer_concrete():
+        return Verdict.MAYBE
+    coefficients = [coeff.as_int() for coeff in equation.coeffs.values()]
+    constant = equation.const.as_int()
+    if not coefficients:
+        return Verdict.INDEPENDENT if constant != 0 else Verdict.MAYBE
+    divisor = math.gcd(*(abs(c) for c in coefficients))
+    if constant % divisor != 0:
+        return Verdict.INDEPENDENT
+    return Verdict.MAYBE

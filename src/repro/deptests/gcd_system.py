@@ -1,0 +1,152 @@
+"""The generalized GCD test: integer solvability of equation *systems*.
+
+The plain GCD test handles one equation; for the multi-dimensional systems
+of equation (2) the classical generalization [Ban88] asks whether the whole
+linear diophantine system has *any* integer solution (bounds ignored).  We
+decide that exactly by reducing the coefficient matrix to column echelon
+form with unimodular column operations (the integer analogue of Gaussian
+elimination, equivalent to computing a Hermite normal form):
+
+    A x = b  is integer-solvable  iff  after reducing A to echelon form E
+    with A U = E, back-substitution solves E y = b over the integers.
+
+Like the GCD test this proves INDEPENDENT when no integer solution exists
+at all; a solvable system still says MAYBE (the solution may violate the
+loop bounds).
+"""
+
+from __future__ import annotations
+
+from .problem import DependenceProblem, Verdict
+
+
+def generalized_gcd_test(problem: DependenceProblem) -> Verdict:
+    """Exact integer solvability of the equation system, ignoring bounds."""
+    if not all(eq.is_integer_concrete() for eq in problem.equations):
+        return Verdict.MAYBE
+    names = sorted(
+        {name for eq in problem.equations for name in eq.variables()}
+    )
+    if not names:
+        if any(eq.const.as_int() != 0 for eq in problem.equations):
+            return Verdict.INDEPENDENT
+        return Verdict.MAYBE
+    matrix = [
+        [eq.coeff(name).as_int() for name in names]
+        for eq in problem.equations
+    ]
+    rhs = [-eq.const.as_int() for eq in problem.equations]
+    if diophantine_solvable(matrix, rhs):
+        return Verdict.MAYBE
+    return Verdict.INDEPENDENT
+
+
+def diophantine_solvable(matrix: list[list[int]], rhs: list[int]) -> bool:
+    """Does ``matrix @ x = rhs`` admit an integer solution?
+
+    Works on a copy; empty systems are trivially solvable.
+    """
+    rows = len(matrix)
+    if rows == 0:
+        return True
+    cols = len(matrix[0]) if matrix[0] else 0
+    if cols == 0:
+        return all(value == 0 for value in rhs)
+    a = [list(row) for row in matrix]
+    b = list(rhs)
+
+    pivot_col = 0
+    for row in range(rows):
+        if pivot_col >= cols:
+            # Every column is a pivot: remaining rows are checked as-is by
+            # the (then unique) forward substitution.
+            break
+        col = _reduce_row(a, row, pivot_col, cols)
+        if col is None:
+            continue  # row is zero from pivot_col on; handled in the solve
+        pivot_col = col + 1
+
+    # Forward substitution through the echelonized system: each pivot row
+    # forces its pivot value (divisibility check); inconsistent zero rows
+    # disprove solvability.
+    return _solve_echelon(a, b, rows, cols)
+
+
+def _reduce_row(
+    a: list[list[int]], row: int, start_col: int, cols: int
+) -> int | None:
+    """Column-reduce ``row`` so at most one non-zero remains from start_col.
+
+    Uses gcd-style column operations (unimodular: they preserve the integer
+    column lattice) applied to the *whole* matrix.  Returns the pivot column
+    or None when the row is zero from ``start_col`` on.
+    """
+    while True:
+        nonzero = [
+            c for c in range(start_col, cols) if a[row][c] != 0
+        ]
+        if not nonzero:
+            return None
+        if len(nonzero) == 1:
+            pivot = nonzero[0]
+            # Move pivot into start_col for a clean echelon shape.
+            if pivot != start_col:
+                _swap_columns(a, pivot, start_col)
+                pivot = start_col
+            if a[row][pivot] < 0:
+                _negate_column(a, pivot)
+            return pivot
+        # Combine the two smallest-magnitude columns Euclid-style.
+        nonzero.sort(key=lambda c: abs(a[row][c]))
+        small, large = nonzero[0], nonzero[1]
+        quotient = a[row][large] // a[row][small]
+        _add_column_multiple(a, large, small, -quotient)
+
+
+def _swap_columns(a: list[list[int]], i: int, j: int) -> None:
+    for row in a:
+        row[i], row[j] = row[j], row[i]
+
+
+def _negate_column(a: list[list[int]], i: int) -> None:
+    for row in a:
+        row[i] = -row[i]
+
+
+def _add_column_multiple(
+    a: list[list[int]], target: int, source: int, factor: int
+) -> None:
+    if factor == 0:
+        return
+    for row in a:
+        row[target] += factor * row[source]
+
+
+def _solve_echelon(
+    a: list[list[int]], b: list[int], rows: int, cols: int
+) -> bool:
+    """Forward-substitute through the echelonized system."""
+    y = [None] * cols  # partial solution in the transformed basis
+    for row in range(rows):
+        total = b[row]
+        unknown_cols = []
+        for col in range(cols):
+            if a[row][col] == 0:
+                continue
+            if y[col] is not None:
+                total -= a[row][col] * y[col]
+            else:
+                unknown_cols.append(col)
+        if not unknown_cols:
+            if total != 0:
+                return False
+            continue
+        # After reduction each row introduces at most one new pivot; any
+        # further unknowns are free (choose 0).
+        pivot = unknown_cols[0]
+        for free in unknown_cols[1:]:
+            y[free] = 0
+        if total % a[row][pivot] != 0:
+            return False
+        y[pivot] = total // a[row][pivot]
+    return True

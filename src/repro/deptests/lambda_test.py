@@ -1,0 +1,68 @@
+"""The lambda-test [LYZ89] for coupled multi-dimensional subscripts.
+
+Li, Yew and Zhu observed that for a *system* of dependence equations (one
+per array dimension), testing each equation separately (as GCD/Banerjee do)
+ignores the coupling between dimensions: the system is infeasible iff the
+intersection of the hyperplanes misses the bounds box, and that can be
+detected by applying Banerjee bounds to suitable *linear combinations*
+
+    sum_i lambda_i * eq_i
+
+of the equations.  The full test enumerates a canonical finite set of
+lambda vectors; this implementation uses the practically-important subset:
+
+* every single equation (lambda = unit vectors), and
+* for every pair of equations, the combinations that eliminate one shared
+  variable (these are the combinations whose Banerjee bounds can expose a
+  coupled infeasibility that no single equation shows).
+
+Each combination is checked with the GCD and Banerjee tests; any failing
+combination proves independence (a solution of the system satisfies every
+linear combination of its equations).  On a single-equation problem the
+test degenerates to GCD+Banerjee — which is why, like them, it cannot
+disprove the paper's intro equation (1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..symbolic import LinExpr
+from .banerjee import equation_banerjee_verdict
+from .gcd import equation_gcd_verdict
+from .problem import DependenceProblem, Verdict
+
+
+def lambda_test(problem: DependenceProblem) -> Verdict:
+    if not problem.is_concrete():
+        return Verdict.MAYBE
+    for combined in lambda_combinations(problem.equations):
+        if equation_gcd_verdict(combined) is Verdict.INDEPENDENT:
+            return Verdict.INDEPENDENT
+        if (
+            equation_banerjee_verdict(
+                combined, problem.variables, problem.assumptions
+            )
+            is Verdict.INDEPENDENT
+        ):
+            return Verdict.INDEPENDENT
+    return Verdict.MAYBE
+
+
+def lambda_combinations(equations: list[LinExpr]) -> list[LinExpr]:
+    """The base equations plus pairwise variable-eliminating combinations."""
+    out = list(equations)
+    for first, second in combinations(equations, 2):
+        shared = first.variables() & second.variables()
+        for name in sorted(shared):
+            c1 = first.coeff(name).as_int()
+            c2 = second.coeff(name).as_int()
+            if c1 == 0 or c2 == 0:
+                continue
+            # lambda = (c2, -c1) eliminates ``name``; normalize the sign so
+            # combinations are deterministic.
+            combined = first * c2 - second * c1
+            if combined.is_zero():
+                continue
+            out.append(combined)
+    return out

@@ -1,0 +1,334 @@
+"""An Omega-style exact integer feasibility test [Pug91].
+
+The paper credits "normalization (tightening) of constraints proposed in
+[Pug91] together with Fourier-Motzkin elimination" with disproving its intro
+equation, while recommending delinearization as the cheap alternative.  This
+module implements the core of Pugh's Omega test so the comparison can be
+made against the real thing:
+
+* **equality elimination** — unit-coefficient substitution, with Pugh's
+  symmetric-modulo variable introduction when no unit coefficient exists
+  (coefficients shrink geometrically, so this terminates);
+* **Fourier-Motzkin with shadows** — when eliminating a variable between a
+  lower bound ``a*x >= -r1`` and an upper bound ``b*x <= r2``:
+  the *real shadow* ``a*r2 + b*r1 >= 0`` is necessary; the *dark shadow*
+  ``a*r2 + b*r1 >= (a-1)*(b-1)`` is sufficient; they coincide when
+  ``a == 1 or b == 1`` (exact elimination);
+* **splintering** — in the gray zone between the shadows, exactness is
+  recovered by case-splitting a largest-coefficient lower bound into
+  finitely many equalities.
+
+The test is *exact* (returns INDEPENDENT or DEPENDENT) unless the work cap
+is hit, in which case it reports MAYBE.  Soundness of both definite answers
+is property-tested against exhaustive enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import count
+
+from .problem import DependenceProblem, Verdict
+
+#: Affine constraint over variable names: coeffs + const, either ">= 0" or "== 0".
+Coeffs = dict[str, int]
+
+#: Global sigma counter: sub-systems spawned during splintering share the
+#: constraint variables of their parent, so fresh names must be globally
+#: unique (a per-system counter would collide and silently merge variables).
+_SIGMA_COUNTER = count(1)
+
+
+@dataclass
+class _System:
+    equalities: list[tuple[Coeffs, int]] = field(default_factory=list)
+    inequalities: list[tuple[Coeffs, int]] = field(default_factory=list)
+
+    def fresh(self) -> str:
+        return f"_sigma{next(_SIGMA_COUNTER)}"
+
+
+#: Hard limit on splinter/recursion depth (Python stack safety).
+_MAX_DEPTH = 40
+
+
+class _Budget:
+    """A work counter shared across the splinter recursion."""
+
+    def __init__(self, limit: int):
+        self.remaining = limit
+        self.depth = 0
+
+    def spend(self, amount: int = 1) -> bool:
+        self.remaining -= amount
+        return self.remaining > 0 and self.depth < _MAX_DEPTH
+
+
+def omega_test(
+    problem: DependenceProblem, work_limit: int = 60_000
+) -> Verdict:
+    """Exact integer (in)feasibility of the dependence system."""
+    if not problem.is_concrete():
+        return Verdict.MAYBE
+    system = _System()
+    for eq in problem.equations:
+        coeffs = {n: c.as_int() for n, c in eq.coeffs.items()}
+        system.equalities.append((coeffs, eq.const.as_int()))
+    for name, var in problem.variables.items():
+        upper = var.upper.as_int()
+        system.inequalities.append(({name: 1}, 0))  # x >= 0
+        system.inequalities.append(({name: -1}, upper))  # upper - x >= 0
+    answer = _feasible(system, _Budget(work_limit))
+    if answer is None:
+        return Verdict.MAYBE
+    return Verdict.DEPENDENT if answer else Verdict.INDEPENDENT
+
+
+# -- the solver -----------------------------------------------------------------
+
+
+def _feasible(system: _System, budget: _Budget) -> bool | None:
+    """True / False exactly, None when the budget runs out."""
+    if not budget.spend():
+        return None
+    budget.depth += 1
+    try:
+        state = _eliminate_equalities(system, budget)
+        if state is not None:
+            return state
+        return _eliminate_inequalities(system, budget)
+    finally:
+        budget.depth -= 1
+
+
+def _eliminate_equalities(system: _System, budget: _Budget) -> bool | None:
+    """Drain the equalities; returns False on contradiction, None to go on."""
+    while system.equalities:
+        if not budget.spend():
+            return None
+        coeffs, const = system.equalities.pop()
+        coeffs = {n: c for n, c in coeffs.items() if c}
+        if not coeffs:
+            if const != 0:
+                return False
+            continue
+        gcd = math.gcd(*(abs(c) for c in coeffs.values()))
+        if const % gcd != 0:
+            return False
+        if gcd > 1:
+            coeffs = {n: c // gcd for n, c in coeffs.items()}
+            const //= gcd
+        unit = next((n for n, c in coeffs.items() if abs(c) == 1), None)
+        if unit is not None:
+            _substitute(system, unit, coeffs, const)
+            continue
+        # Pugh's symmetric-mod reduction: introduce sigma, derive a unit
+        # coefficient, substitute, and retry with the shrunken equality.
+        smallest = min(coeffs.values(), key=abs)
+        m = abs(smallest) + 1
+        sigma = system.fresh()
+        new_coeffs = {n: _symmetric_mod(c, m) for n, c in coeffs.items()}
+        new_coeffs = {n: c for n, c in new_coeffs.items() if c}
+        new_coeffs[sigma] = -m
+        new_const = _symmetric_mod(const, m)
+        # The variable with |coeff| == m-1 now has coefficient -+1.
+        system.equalities.append((coeffs, const))
+        unit = next(n for n, c in new_coeffs.items() if abs(c) == 1)
+        _substitute(system, unit, new_coeffs, new_const)
+    return None
+
+
+def _substitute(
+    system: _System, name: str, coeffs: Coeffs, const: int
+) -> None:
+    """Substitute ``name`` using equality ``coeffs . x + const == 0``.
+
+    ``coeffs[name]`` must be +-1: then ``name = -s * (rest + const)`` with
+    ``s = coeffs[name]``.
+    """
+    sign = coeffs[name]
+    assert abs(sign) == 1
+    rest = {n: -sign * c for n, c in coeffs.items() if n != name}
+    rest_const = -sign * const
+
+    def apply(target: Coeffs, target_const: int) -> tuple[Coeffs, int]:
+        factor = target.pop(name, 0)
+        if factor:
+            for n, c in rest.items():
+                target[n] = target.get(n, 0) + factor * c
+            target_const += factor * rest_const
+        return {n: c for n, c in target.items() if c}, target_const
+
+    system.equalities = [
+        apply(dict(c), k) for c, k in system.equalities
+    ]
+    system.inequalities = [
+        apply(dict(c), k) for c, k in system.inequalities
+    ]
+
+
+def _symmetric_mod(a: int, b: int) -> int:
+    """Pugh's mod-hat: residue in (-b/2, b/2]."""
+    r = a - b * ((2 * a + b) // (2 * b))
+    return r
+
+
+def _eliminate_inequalities(system: _System, budget: _Budget) -> bool | None:
+    inequalities = _normalize_all(system.inequalities)
+    if inequalities is None:
+        return False
+    while True:
+        if not budget.spend():
+            return None
+        variables = sorted({n for c, _ in inequalities for n in c})
+        if not variables:
+            return True  # only satisfiable constant constraints remain
+        name = _cheapest(inequalities, variables)
+        lowers, uppers, rest = [], [], []
+        for coeffs, const in inequalities:
+            coefficient = coeffs.get(name, 0)
+            if coefficient > 0:
+                lowers.append((coeffs, const))
+            elif coefficient < 0:
+                uppers.append((coeffs, const))
+            else:
+                rest.append((coeffs, const))
+        if not lowers or not uppers:
+            # Unbounded in one direction: drop all constraints on the var.
+            inequalities = rest
+            continue
+        if len(lowers) * len(uppers) > budget.remaining:
+            return None
+        exact = True
+        dark_contradiction = False
+        derived = list(rest)
+        for lower_coeffs, lower_const in lowers:
+            a = lower_coeffs[name]
+            for upper_coeffs, upper_const in uppers:
+                b = -upper_coeffs[name]
+                merged: Coeffs = {}
+                for n, c in lower_coeffs.items():
+                    if n != name:
+                        merged[n] = merged.get(n, 0) + b * c
+                for n, c in upper_coeffs.items():
+                    if n != name:
+                        merged[n] = merged.get(n, 0) + a * c
+                const = b * lower_const + a * upper_const
+                pair_exact = a == 1 or b == 1
+                if not pair_exact:
+                    exact = False
+                    # Dark shadow: demand a gap of (a-1)(b-1).
+                    const -= (a - 1) * (b - 1)
+                normalized = _normalize(merged, const)
+                if normalized is False:
+                    if pair_exact:
+                        # The real shadow is already infeasible: exact.
+                        return False
+                    dark_contradiction = True
+                elif normalized is not True:
+                    derived.append(normalized)
+        if exact:
+            return _check(derived, budget)
+        # Inexact elimination: dark-shadow feasibility proves feasibility.
+        if not dark_contradiction:
+            dark_feasible = _check(derived, budget)
+            if dark_feasible is True:
+                return True
+            if dark_feasible is None:
+                return None
+        # Dark shadow infeasible: exact answer needs splintering over the
+        # lower bounds of the eliminated variable.
+        return _splinter(inequalities, name, lowers, uppers, budget)
+
+
+def _check(
+    inequalities: list[tuple[Coeffs, int]], budget: _Budget
+) -> bool | None:
+    subsystem = _System([], [(dict(c), k) for c, k in inequalities])
+    return _feasible(subsystem, budget)
+
+
+def _splinter(
+    inequalities: list[tuple[Coeffs, int]],
+    name: str,
+    lowers: list[tuple[Coeffs, int]],
+    uppers: list[tuple[Coeffs, int]],
+    budget: _Budget,
+) -> bool | None:
+    """Pugh's splintering: case-split the lower bounds into equalities.
+
+    When the dark shadow is empty, any integer solution must sit within
+    ``(a*b_max - a - b_max) / b_max`` of *some* lower bound ``a*x >= -r1``;
+    trying every (lower bound, offset) case as an added equality is exact.
+    """
+    max_b = max(-u[0][name] for u in uppers)
+    for lower_coeffs, lower_const in lowers:
+        a = lower_coeffs[name]
+        span = (a * max_b - a - max_b) // max_b
+        for offset in range(span + 1):
+            if not budget.spend(10):
+                return None
+            case = _System()
+            case.inequalities = [(dict(c), k) for c, k in inequalities]
+            # a*x + r1 == offset (r1 is the affine rest of the lower bound).
+            case.equalities.append((dict(lower_coeffs), lower_const - offset))
+            result = _feasible(case, budget)
+            if result is True:
+                return True
+            if result is None:
+                return None
+    return False
+
+
+def _cheapest(
+    inequalities: list[tuple[Coeffs, int]], variables: list[str]
+) -> str:
+    """Prefer exact eliminations (unit coefficients), then low fan-out."""
+    best_name = variables[0]
+    best_key: tuple[int, int] | None = None
+    for name in variables:
+        lowers = uppers = 0
+        exact = 0
+        for coeffs, _ in inequalities:
+            c = coeffs.get(name, 0)
+            if c > 0:
+                lowers += 1
+                exact |= int(c > 1)
+            elif c < 0:
+                uppers += 1
+                exact |= int(c < -1)
+        key = (exact, lowers * uppers)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_name = name
+    return best_name
+
+
+def _normalize_all(
+    inequalities: list[tuple[Coeffs, int]]
+) -> list[tuple[Coeffs, int]] | None:
+    out = []
+    for coeffs, const in inequalities:
+        normalized = _normalize(coeffs, const)
+        if normalized is False:
+            return None
+        if normalized is not True:
+            out.append(normalized)
+    return out
+
+
+def _normalize(coeffs: Coeffs, const: int):
+    """Tighten ``coeffs . x + const >= 0``.
+
+    Returns False when contradictory, True when trivial, else the
+    gcd-normalized (floored) constraint — Pugh's tightening step.
+    """
+    live = {n: c for n, c in coeffs.items() if c}
+    if not live:
+        return const >= 0
+    gcd = math.gcd(*(abs(c) for c in live.values()))
+    if gcd > 1:
+        live = {n: c // gcd for n, c in live.items()}
+        const = const // gcd  # floor: sound for integers
+    return live, const

@@ -1,0 +1,77 @@
+"""The registry of dependence tests, for comparisons and benchmarks.
+
+This powers experiment E4 (the paper's intro comparison): which techniques
+can prove the references ``C(i+10*j)`` and ``C(i+10*j+5)`` independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .acyclic import acyclic_test
+from .banerjee import banerjee_test, gcd_banerjee_test
+from .exhaustive import exhaustive_test
+from .fourier_motzkin import fourier_motzkin_test
+from .gcd import gcd_test
+from .gcd_system import generalized_gcd_test
+from .lambda_test import lambda_test
+from .loop_residue import shostak_test, simple_loop_residue_test
+from .omega import omega_test
+from .problem import DependenceProblem, Verdict
+from .svpc import svpc_test
+
+TestFn = Callable[[DependenceProblem], Verdict]
+
+#: The classical tests the paper compares against, keyed by its names.
+CLASSICAL_TESTS: dict[str, TestFn] = {
+    "GCD test": gcd_test,
+    "Generalized GCD (system)": generalized_gcd_test,
+    "Banerjee inequalities": banerjee_test,
+    "Lambda test": lambda_test,
+    "Single Variable Per Constraint": svpc_test,
+    "Acyclic test": acyclic_test,
+    "Simple Loop Residue": simple_loop_residue_test,
+    "Shostak loop residues": shostak_test,
+    "Fourier-Motzkin (real)": lambda p: fourier_motzkin_test(p, tighten=False),
+    "Fourier-Motzkin + tightening": lambda p: fourier_motzkin_test(
+        p, tighten=True
+    ),
+}
+
+#: Exact integer deciders beyond the paper's comparison set.
+EXTENDED_TESTS: dict[str, TestFn] = {
+    "Omega (exact integer)": omega_test,
+}
+
+
+def run_all(
+    problem: DependenceProblem,
+    include_exhaustive: bool = False,
+    include_extended: bool = False,
+) -> dict[str, Verdict]:
+    """Run every registered test on the problem."""
+    results = {name: test(problem) for name, test in CLASSICAL_TESTS.items()}
+    if include_extended:
+        for name, test in EXTENDED_TESTS.items():
+            results[name] = test(problem)
+    if include_exhaustive:
+        results["Exhaustive (ground truth)"] = exhaustive_test(problem)
+    return results
+
+
+def disproving_tests(problem: DependenceProblem) -> list[str]:
+    """Names of the tests that prove the problem independent."""
+    return [
+        name
+        for name, verdict in run_all(problem).items()
+        if verdict is Verdict.INDEPENDENT
+    ]
+
+
+__all__ = [
+    "CLASSICAL_TESTS",
+    "EXTENDED_TESTS",
+    "TestFn",
+    "disproving_tests",
+    "run_all",
+]

@@ -1,0 +1,44 @@
+"""The Single Variable Per Constraint test [MHL91, Ban88].
+
+Exact for systems in which every equation mentions at most one variable:
+``c0 + c1*z = 0`` has the unique candidate ``z = -c0/c1``, which either is a
+non-integer / out-of-range (independent) or pins the variable.  Consistency
+of pinned values across equations is checked; any equation with two or more
+variables leaves the overall answer at MAYBE (though single-variable
+equations may still prove independence).
+"""
+
+from __future__ import annotations
+
+from .problem import DependenceProblem, Verdict
+
+
+def svpc_test(problem: DependenceProblem) -> Verdict:
+    if not problem.is_concrete():
+        return Verdict.MAYBE
+    pinned: dict[str, int] = {}
+    exact = True
+    for equation in problem.equations:
+        names = sorted(equation.variables())
+        constant = equation.const.as_int()
+        if not names:
+            if constant != 0:
+                return Verdict.INDEPENDENT
+            continue
+        if len(names) > 1:
+            exact = False
+            continue
+        (name,) = names
+        coeff = equation.coeff(name).as_int()
+        if constant % coeff != 0:
+            return Verdict.INDEPENDENT
+        value = -constant // coeff
+        upper = problem.variables[name].upper.as_int()
+        if not 0 <= value <= upper:
+            return Verdict.INDEPENDENT
+        if name in pinned and pinned[name] != value:
+            return Verdict.INDEPENDENT
+        pinned[name] = value
+    if exact:
+        return Verdict.DEPENDENT
+    return Verdict.MAYBE

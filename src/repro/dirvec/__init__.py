@@ -1,0 +1,33 @@
+"""Direction, distance, and distance-direction vectors."""
+
+from .vectors import (
+    D_EQ,
+    D_GE,
+    D_GT,
+    D_LE,
+    D_LT,
+    D_NE,
+    D_STAR,
+    DirElem,
+    DirVec,
+    DistanceElem,
+    DistanceVec,
+    merge_direction_sets,
+    summarize,
+)
+
+__all__ = [
+    "D_EQ",
+    "D_GE",
+    "D_GT",
+    "D_LE",
+    "D_LT",
+    "D_NE",
+    "D_STAR",
+    "DirElem",
+    "DirVec",
+    "DistanceElem",
+    "DistanceVec",
+    "merge_direction_sets",
+    "summarize",
+]

@@ -1,0 +1,86 @@
+"""Hierarchical direction-vector refinement (Burke–Cytron style).
+
+Starting from the all-``*`` vector, each level is refined into ``<``, ``=``,
+``>`` in turn; a feasibility test on the direction-constrained problem prunes
+whole subtrees.  The result is the set of maximal feasible direction vectors
+— the conventional way of computing direction vectors with any conservative
+dependence test, and the "existing techniques" the delinearization algorithm
+calls for its separated equations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..deptests.problem import DependenceProblem, Verdict
+from .vectors import D_EQ, D_GT, D_LT, D_STAR, DirVec
+
+TestFn = Callable[[DependenceProblem], Verdict]
+
+
+def refine_directions(
+    problem: DependenceProblem,
+    test: TestFn,
+    max_levels: int | None = None,
+) -> set[DirVec]:
+    """Feasible direction vectors of ``problem`` according to ``test``.
+
+    ``test`` must be conservative: INDEPENDENT answers prune, anything else
+    keeps the subtree.  Refinement stops at ``max_levels`` (defaults to all
+    common levels); unrefined positions remain ``*``.
+
+    Returns the set of deepest vectors that could not be pruned; empty set
+    means the problem is independent.
+    """
+    levels = problem.common_levels if max_levels is None else max_levels
+    root = DirVec.star(problem.common_levels)
+    if test(problem) is Verdict.INDEPENDENT:
+        return set()
+    return _refine(problem, test, root, 0, levels)
+
+
+def _refine(
+    problem: DependenceProblem,
+    test: TestFn,
+    vector: DirVec,
+    level: int,
+    max_levels: int,
+) -> set[DirVec]:
+    if level >= max_levels:
+        return {vector}
+    out: set[DirVec] = set()
+    for atom in (D_LT, D_EQ, D_GT):
+        candidate = DirVec(
+            [atom if i == level else e for i, e in enumerate(vector)]
+        )
+        constrained = problem.with_direction(candidate)
+        if test(constrained) is Verdict.INDEPENDENT:
+            continue
+        out |= _refine(problem, test, candidate, level + 1, max_levels)
+    return out
+
+
+def prune_self_dependence(
+    vectors: set[DirVec], same_statement: bool
+) -> set[DirVec]:
+    """Drop the all-'=' identity when both references share one statement
+    instance (a statement does not depend on its own current execution)."""
+    if not same_statement:
+        return vectors
+    out: set[DirVec] = set()
+    for vec in vectors:
+        atoms = [
+            atomic
+            for atomic in vec.atomic_vectors()
+            if not atomic.is_all_equal()
+        ]
+        if not atoms:
+            continue
+        if vec.is_all_equal():
+            continue
+        # Rebuild the tightest composite covering the remaining atoms.
+        rebuilt = atoms[0]
+        for atomic in atoms[1:]:
+            rebuilt = rebuilt.join(atomic)
+        out.add(rebuilt)
+    return out

@@ -1,0 +1,7 @@
+"""Source-language frontends (FORTRAN-77 subset and C subset)."""
+
+from .c import CParseInfo, parse_c
+from .errors import ParseError
+from .fortran import parse_fortran
+
+__all__ = ["CParseInfo", "ParseError", "parse_c", "parse_fortran"]

@@ -1,0 +1,233 @@
+"""A C subset parser for the paper's pointer-traversal examples.
+
+Supported constructs::
+
+    float d[100];
+    float d[10][10];
+    float *i, *j;
+    int i, j;
+    for (j = d; j <= d + 90; j += 10) { ... }
+    for (i = 0; i < 5; i++) body;
+    *i = *(i + 5);
+    d[j][i] = d[j][i + 5];
+
+The parser produces the shared loop-nest IR.  Pointer dereferences become
+:class:`~repro.ir.Deref` nodes and pointer-controlled ``for`` loops keep their
+pointer semantics (recorded in :class:`CParseInfo`); the conversion to integer
+index variables — the transformation the paper describes for making analysis
+of pointer code possible — is performed by :mod:`repro.analysis.pointers`.
+
+C ``for (v = L; v < U; v += S)`` loops are lowered to the IR's inclusive
+DO form ``DO v = L, U-1, S`` (``<=`` keeps the bound as written).
+Multi-dimensional C arrays ``d[10][10]`` are declared with row-major
+dimensions ``0:9`` each; subscripts keep C's ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import (
+    ArrayDecl,
+    ArrayDim,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Deref,
+    Expr,
+    IntLit,
+    Loop,
+    Name,
+    Program,
+    Stmt,
+    UnaryOp,
+)
+from .errors import ParseError
+from .lexer import IDENT, INT, OP, Token, TokenStream, tokenize
+
+_C_TYPES = ("float", "double", "int", "long", "char", "unsigned")
+
+
+def _sub_one(expr: Expr) -> Expr:
+    """``expr - 1`` with constant folding (keeps declared bounds readable)."""
+    if isinstance(expr, IntLit):
+        return IntLit(expr.value - 1)
+    return expr - IntLit(1)
+
+
+@dataclass
+class CParseInfo:
+    """Side information the pointer-conversion pass needs.
+
+    ``pointers`` maps each declared pointer name to its element type;
+    ``scalars`` lists declared integer scalars.
+    """
+
+    pointers: dict[str, str] = field(default_factory=dict)
+    scalars: set[str] = field(default_factory=set)
+
+
+def parse_c(source: str, name: str = "main") -> tuple[Program, CParseInfo]:
+    """Parse C source text; returns the program and pointer side-info."""
+    tokens = [
+        t
+        for t in tokenize(source, comment_chars="", c_comments=True)
+        if t.kind != "NEWLINE"
+    ]
+    parser = _CParser(tokens, name)
+    program, info = parser.parse_program()
+    program.number_statements()
+    return program, info
+
+
+class _CParser:
+    def __init__(self, tokens: list[Token], name: str):
+        self.ts = TokenStream(tokens)
+        self.program = Program(name=name)
+        self.info = CParseInfo()
+
+    def parse_program(self) -> tuple[Program, CParseInfo]:
+        while not self.ts.at_eof():
+            self.program.body.extend(self.parse_statement())
+        return self.program, self.info
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self) -> list[Stmt]:
+        if self._at_type():
+            self.parse_declaration()
+            return []
+        if self.ts.at_keyword("for"):
+            return [self.parse_for()]
+        if self.ts.accept(OP, "{"):
+            block: list[Stmt] = []
+            while not self.ts.at(OP, "}"):
+                if self.ts.at_eof():
+                    raise ParseError("unterminated block")
+                block.extend(self.parse_statement())
+            self.ts.expect(OP, "}")
+            return block
+        if self.ts.accept(OP, ";"):
+            return []
+        return [self.parse_assignment()]
+
+    def _at_type(self) -> bool:
+        return self.ts.at(IDENT) and self.ts.peek().text in _C_TYPES
+
+    def parse_declaration(self) -> None:
+        type_token = self.ts.next()
+        elem_type = type_token.text
+        while True:
+            is_pointer = bool(self.ts.accept(OP, "*"))
+            name_token = self.ts.expect(IDENT)
+            if is_pointer:
+                self.info.pointers[name_token.text] = elem_type
+            elif self.ts.at(OP, "["):
+                dims: list[ArrayDim] = []
+                while self.ts.accept(OP, "["):
+                    size = self.parse_expr()
+                    self.ts.expect(OP, "]")
+                    dims.append(ArrayDim(IntLit(0), _sub_one(size)))
+                self.program.declare(
+                    ArrayDecl(name_token.text, tuple(dims), elem_type)
+                )
+            else:
+                self.info.scalars.add(name_token.text)
+            if not self.ts.accept(OP, ","):
+                break
+        self.ts.expect(OP, ";")
+
+    def parse_for(self) -> Loop:
+        self.ts.next()  # for
+        self.ts.expect(OP, "(")
+        init_var = self.ts.expect(IDENT).text
+        self.ts.expect(OP, "=")
+        lower = self.parse_expr()
+        self.ts.expect(OP, ";")
+        cond_var = self.ts.expect(IDENT).text
+        if cond_var != init_var:
+            raise ParseError(f"for condition tests {cond_var!r}, not {init_var!r}")
+        op_token = self.ts.next()
+        if op_token.text not in ("<", "<="):
+            raise ParseError(
+                f"unsupported for condition operator {op_token.text!r}",
+                op_token.line,
+                op_token.column,
+            )
+        bound = self.parse_expr()
+        upper = bound if op_token.text == "<=" else _sub_one(bound)
+        self.ts.expect(OP, ";")
+        update_var = self.ts.expect(IDENT).text
+        if update_var != init_var:
+            raise ParseError(f"for update changes {update_var!r}, not {init_var!r}")
+        step: Expr = IntLit(1)
+        if self.ts.accept(OP, "++"):
+            pass
+        elif self.ts.accept(OP, "+="):
+            step = self.parse_expr()
+        else:
+            raise ParseError("for update must be v++ or v += step")
+        self.ts.expect(OP, ")")
+        body = self.parse_statement()
+        return Loop(init_var, lower, upper, body, step)
+
+    def parse_assignment(self) -> Assignment:
+        lhs = self.parse_unary()
+        if not isinstance(lhs, (ArrayRef, Name, Deref)):
+            raise ParseError(f"cannot assign to {lhs}")
+        self.ts.expect(OP, "=")
+        rhs = self.parse_expr()
+        self.ts.expect(OP, ";")
+        return Assignment(lhs, rhs)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        expr = self.parse_term()
+        while self.ts.at(OP, "+") or self.ts.at(OP, "-"):
+            op = self.ts.next().text
+            expr = BinOp(op, expr, self.parse_term())
+        return expr
+
+    def parse_term(self) -> Expr:
+        expr = self.parse_unary()
+        while self.ts.at(OP, "*") or self.ts.at(OP, "/"):
+            op = self.ts.next().text
+            expr = BinOp(op, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> Expr:
+        if self.ts.accept(OP, "-"):
+            return UnaryOp("-", self.parse_unary())
+        if self.ts.accept(OP, "*"):
+            return Deref(self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        token = self.ts.peek()
+        if token.kind == INT:
+            self.ts.next()
+            return IntLit(int(token.text))
+        if token.kind == IDENT:
+            self.ts.next()
+            if self.ts.at(OP, "["):
+                subscripts: list[Expr] = []
+                while self.ts.accept(OP, "["):
+                    subscripts.append(self.parse_expr())
+                    self.ts.expect(OP, "]")
+                return ArrayRef(token.text, tuple(subscripts))
+            if self.ts.accept(OP, "("):
+                args = []
+                if not self.ts.at(OP, ")"):
+                    args.append(self.parse_expr())
+                    while self.ts.accept(OP, ","):
+                        args.append(self.parse_expr())
+                self.ts.expect(OP, ")")
+                return Call(token.text, tuple(args))
+            return Name(token.text)
+        if self.ts.accept(OP, "("):
+            expr = self.parse_expr()
+            self.ts.expect(OP, ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)

@@ -1,0 +1,17 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class ParseError(Exception):
+    """A syntax error with source location."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")

@@ -1,0 +1,346 @@
+"""A FORTRAN-77 subset parser sufficient for every program in the paper.
+
+Supported constructs::
+
+    REAL A(0:9, 0:9), X(200)
+    INTEGER IB
+    EQUIVALENCE (A, B)
+    DO 10 I = 1, 100        ! label-terminated loops (shared labels allowed)
+    DO I = 0, N - 1         ! ...or ENDDO-terminated
+    10 CONTINUE
+    ENDDO
+    A(I, J) = B(I, 2*J+1) + Q
+
+Keywords are case-insensitive; identifiers are kept as written.  Dimensions
+follow FORTRAN rules: ``(N)`` means ``1:N``, ``(0:9)`` is explicit.  A
+subscripted name is an array reference when the name is declared (explicitly,
+or implicitly by appearing subscripted on a left-hand side); otherwise it is
+an opaque function call, exactly the paper's ``IFUN(10)`` situation.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    ArrayDecl,
+    ArrayDim,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Equivalence,
+    Expr,
+    IntLit,
+    Loop,
+    Name,
+    Program,
+    Stmt,
+    UnaryOp,
+)
+from .errors import ParseError
+from .lexer import EOF, IDENT, INT, NEWLINE, OP, Token, TokenStream, tokenize
+
+_TYPE_KEYWORDS = ("REAL", "INTEGER", "DOUBLE", "LOGICAL", "DIMENSION")
+
+
+def parse_fortran(source: str, name: str = "MAIN") -> Program:
+    """Parse FORTRAN source text into a :class:`~repro.ir.Program`.
+
+    Statements are auto-numbered S1, S2, ... in textual order.
+    """
+    tokens = tokenize(source, comment_chars="!")
+    parser = _FortranParser(tokens, name)
+    program = parser.parse_program()
+    program.number_statements()
+    return program
+
+
+class _FortranParser:
+    def __init__(self, tokens: list[Token], name: str):
+        self.ts = TokenStream(tokens)
+        self.program = Program(name=name)
+        self.implicit_arrays = _scan_lhs_arrays(tokens)
+        # Stack of open loops: (loop, terminating label or None for ENDDO).
+        self.loop_stack: list[tuple[Loop, str | None]] = []
+
+    # -- program structure ---------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self.ts.skip_newlines()
+        while not self.ts.at_eof():
+            self.parse_line()
+            self.ts.skip_newlines()
+        if self.loop_stack:
+            loop, label = self.loop_stack[-1]
+            terminator = f"label {label}" if label else "ENDDO"
+            raise ParseError(f"DO {loop.var} never closed (missing {terminator})")
+        return self.program
+
+    def parse_line(self) -> None:
+        if self._at_type_keyword():
+            self.parse_declaration()
+            return
+        if self.ts.at_keyword("EQUIVALENCE"):
+            self.parse_equivalence()
+            return
+        if self.ts.at_keyword("COMMON") and not self._is_assignment_to("COMMON"):
+            self.parse_common()
+            return
+        label = None
+        if self.ts.at(INT):
+            label = self.ts.next().text
+        if self.ts.at_keyword("DO") and not self._is_assignment_to("DO"):
+            self.parse_do()
+            return
+        if self.ts.at_keyword("ENDDO"):
+            self.ts.next()
+            self.ts.expect_end_of_line()
+            self.close_enddo()
+            return
+        if self.ts.at_keyword("CONTINUE"):
+            self.ts.next()
+            self.ts.expect_end_of_line()
+            if label is None:
+                raise ParseError("CONTINUE without a label")
+            self.close_label(label)
+            return
+        if self.ts.at_keyword("END") and self.ts.peek(1).kind in (NEWLINE, EOF):
+            self.ts.next()
+            self.ts.expect_end_of_line()
+            return
+        self.parse_assignment(label)
+
+    def _at_type_keyword(self) -> bool:
+        if not self.ts.at(IDENT):
+            return False
+        word = self.ts.peek().text.upper()
+        if word not in _TYPE_KEYWORDS:
+            return False
+        # "REAL = 1" would be an assignment; require a following identifier.
+        return self.ts.peek(1).kind == IDENT or (
+            word == "DOUBLE" and self.ts.peek(1).kind == IDENT
+        )
+
+    def _is_assignment_to(self, keyword: str) -> bool:
+        """Distinguish ``DO = 5`` (assignment to variable DO) from a DO stmt."""
+        return self.ts.peek(1).kind == OP and self.ts.peek(1).text == "="
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse_declaration(self) -> None:
+        type_token = self.ts.next()
+        elem_type = type_token.text.upper()
+        if elem_type == "DIMENSION":
+            elem_type = "REAL"  # DIMENSION declares shape, not type
+        if elem_type == "DOUBLE":
+            precision = self.ts.expect(IDENT)
+            if precision.text.upper() != "PRECISION":
+                raise ParseError(
+                    "expected PRECISION after DOUBLE", precision.line, precision.column
+                )
+            elem_type = "DOUBLE PRECISION"
+        while True:
+            name_token = self.ts.expect(IDENT)
+            if self.ts.accept(OP, "("):
+                dims = [self.parse_dim()]
+                while self.ts.accept(OP, ","):
+                    dims.append(self.parse_dim())
+                self.ts.expect(OP, ")")
+                self.program.declare(
+                    ArrayDecl(name_token.text, tuple(dims), elem_type)
+                )
+            # Scalar declarations are accepted and ignored (no decl needed).
+            if not self.ts.accept(OP, ","):
+                break
+        self.ts.expect_end_of_line()
+
+    def parse_dim(self) -> ArrayDim:
+        first = self.parse_expr()
+        if self.ts.accept(OP, ":"):
+            upper = self.parse_expr()
+            return ArrayDim(first, upper)
+        # FORTRAN default lower bound is 1.
+        return ArrayDim(IntLit(1), first)
+
+    def parse_equivalence(self) -> None:
+        self.ts.next()  # EQUIVALENCE
+        self.ts.expect(OP, "(")
+        names = [self.ts.expect(IDENT).text]
+        while self.ts.accept(OP, ","):
+            names.append(self.ts.expect(IDENT).text)
+        self.ts.expect(OP, ")")
+        self.ts.expect_end_of_line()
+        if len(names) < 2:
+            raise ParseError("EQUIVALENCE needs at least two arrays")
+        self.program.equivalences.append(Equivalence(tuple(names)))
+
+    def parse_common(self) -> None:
+        from ..ir.nodes import CommonBlock
+
+        self.ts.next()  # COMMON
+        block = ""
+        if self.ts.accept(OP, "/"):
+            block = self.ts.expect(IDENT).text
+            self.ts.expect(OP, "/")
+        members = [self.ts.expect(IDENT).text]
+        while self.ts.accept(OP, ","):
+            members.append(self.ts.expect(IDENT).text)
+        self.ts.expect_end_of_line()
+        self.program.commons.append(CommonBlock(block, tuple(members)))
+
+    # -- loops -------------------------------------------------------------------
+
+    def parse_do(self) -> None:
+        self.ts.next()  # DO
+        label = self.ts.next().text if self.ts.at(INT) else None
+        var = self.ts.expect(IDENT).text
+        self.ts.expect(OP, "=")
+        lower = self.parse_expr()
+        self.ts.expect(OP, ",")
+        upper = self.parse_expr()
+        step: Expr = IntLit(1)
+        if self.ts.accept(OP, ","):
+            step = self.parse_expr()
+        self.ts.expect_end_of_line()
+        loop = Loop(var, lower, upper, [], step)
+        self.append_stmt(loop)
+        self.loop_stack.append((loop, label))
+
+    def close_enddo(self) -> None:
+        if not self.loop_stack or self.loop_stack[-1][1] is not None:
+            raise ParseError("ENDDO without matching DO")
+        self.loop_stack.pop()
+
+    def close_label(self, label: str) -> None:
+        """Close every open loop terminated by ``label`` (shared labels)."""
+        closed = False
+        while self.loop_stack and self.loop_stack[-1][1] == label:
+            self.loop_stack.pop()
+            closed = True
+        if not closed:
+            raise ParseError(f"label {label} does not terminate any open DO")
+
+    def append_stmt(self, stmt: Stmt) -> None:
+        if self.loop_stack:
+            self.loop_stack[-1][0].body.append(stmt)
+        else:
+            self.program.body.append(stmt)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_assignment(self, label: str | None) -> None:
+        lhs = self.parse_primary(lvalue=True)
+        if not isinstance(lhs, (ArrayRef, Name)):
+            raise ParseError(f"cannot assign to {lhs}")
+        self.ts.expect(OP, "=")
+        rhs = self.parse_expr()
+        self.ts.expect_end_of_line()
+        self.append_stmt(Assignment(lhs, rhs))
+        if label is not None:
+            self.close_label(label)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        expr = self.parse_term()
+        while self.ts.at(OP, "+") or self.ts.at(OP, "-"):
+            op = self.ts.next().text
+            expr = BinOp(op, expr, self.parse_term())
+        return expr
+
+    def parse_term(self) -> Expr:
+        expr = self.parse_factor()
+        while self.ts.at(OP, "*") or self.ts.at(OP, "/"):
+            op = self.ts.next().text
+            expr = BinOp(op, expr, self.parse_factor())
+        return expr
+
+    def parse_factor(self) -> Expr:
+        if self.ts.accept(OP, "-"):
+            return UnaryOp("-", self.parse_factor())
+        if self.ts.accept(OP, "+"):
+            return self.parse_factor()
+        return self.parse_primary()
+
+    def parse_primary(self, lvalue: bool = False) -> Expr:
+        token = self.ts.peek()
+        if token.kind == INT:
+            self.ts.next()
+            return IntLit(int(token.text))
+        if token.kind == IDENT:
+            self.ts.next()
+            if self.ts.accept(OP, "("):
+                args = [self.parse_expr()]
+                while self.ts.accept(OP, ","):
+                    args.append(self.parse_expr())
+                self.ts.expect(OP, ")")
+                if self._is_array(token.text) or lvalue:
+                    self._note_implicit(token.text, len(args))
+                    return ArrayRef(token.text, tuple(args))
+                return Call(token.text, tuple(args))
+            return Name(token.text)
+        if self.ts.accept(OP, "("):
+            expr = self.parse_expr()
+            self.ts.expect(OP, ")")
+            return expr
+        raise ParseError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+    def _is_array(self, name: str) -> bool:
+        return name in self.program.decls or name in self.implicit_arrays
+
+    def _note_implicit(self, name: str, rank: int) -> None:
+        """Register an implicitly declared array (unknown bounds)."""
+        if name not in self.program.decls:
+            self.program.decls[name] = ArrayDecl(name, (), "REAL")
+        del rank  # rank consistency is a checker concern, not the parser's
+
+
+def _scan_lhs_arrays(tokens: list[Token]) -> set[str]:
+    """Pre-scan: names subscripted on a left-hand side are arrays.
+
+    This resolves the array-vs-call ambiguity for fragments without
+    declarations, such as the paper's ``C(J) = C(J) + I``.
+    """
+    arrays: set[str] = set()
+    at_line_start = True
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind == NEWLINE:
+            at_line_start = True
+            index += 1
+            continue
+        if at_line_start:
+            start = index
+            # Optional numeric label.
+            if tokens[start].kind == INT:
+                start += 1
+            if (
+                start < len(tokens)
+                and tokens[start].kind == IDENT
+                and start + 1 < len(tokens)
+                and tokens[start + 1].kind == OP
+                and tokens[start + 1].text == "("
+            ):
+                # Find the matching ')' and check for '=' right after.
+                depth = 0
+                scan = start + 1
+                while scan < len(tokens) and tokens[scan].kind != NEWLINE:
+                    if tokens[scan].kind == OP and tokens[scan].text == "(":
+                        depth += 1
+                    elif tokens[scan].kind == OP and tokens[scan].text == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    scan += 1
+                if (
+                    depth == 0
+                    and scan + 1 < len(tokens)
+                    and tokens[scan + 1].kind == OP
+                    and tokens[scan + 1].text == "="
+                ):
+                    arrays.add(tokens[start].text)
+            at_line_start = False
+        index += 1
+    return arrays

@@ -1,0 +1,150 @@
+"""A small line-oriented lexer shared by the FORTRAN and C frontends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ParseError
+
+#: Token kinds.
+INT = "INT"
+IDENT = "IDENT"
+OP = "OP"
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+
+_MULTI_CHAR_OPS = ("<=", ">=", "==", "!=", "+=", "-=", "++", "--", "&&", "||")
+_SINGLE_CHAR_OPS = "+-*/(),=:;<>[]{}&"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str, comment_chars: str = "!", c_comments: bool = False) -> list[Token]:
+    """Tokenize source text into a flat token list with NEWLINE separators.
+
+    ``comment_chars`` start a to-end-of-line comment anywhere on a line.
+    With ``c_comments`` the sequences ``//`` and ``/* ... */`` are comments.
+    """
+    tokens: list[Token] = []
+    line_no = 0
+    in_block_comment = False
+    for raw_line in source.splitlines():
+        line_no += 1
+        pos = 0
+        emitted = False
+        length = len(raw_line)
+        while pos < length:
+            if in_block_comment:
+                end = raw_line.find("*/", pos)
+                if end < 0:
+                    pos = length
+                    continue
+                in_block_comment = False
+                pos = end + 2
+                continue
+            ch = raw_line[pos]
+            if ch in " \t":
+                pos += 1
+                continue
+            if ch in comment_chars:
+                break
+            if c_comments and raw_line.startswith("//", pos):
+                break
+            if c_comments and raw_line.startswith("/*", pos):
+                in_block_comment = True
+                pos += 2
+                continue
+            start = pos
+            if ch.isdigit():
+                while pos < length and raw_line[pos].isdigit():
+                    pos += 1
+                tokens.append(Token(INT, raw_line[start:pos], line_no, start + 1))
+                emitted = True
+                continue
+            if ch.isalpha() or ch == "_":
+                while pos < length and (raw_line[pos].isalnum() or raw_line[pos] == "_"):
+                    pos += 1
+                tokens.append(Token(IDENT, raw_line[start:pos], line_no, start + 1))
+                emitted = True
+                continue
+            matched = next(
+                (op for op in _MULTI_CHAR_OPS if raw_line.startswith(op, pos)), None
+            )
+            if matched:
+                tokens.append(Token(OP, matched, line_no, pos + 1))
+                pos += len(matched)
+                emitted = True
+                continue
+            if ch in _SINGLE_CHAR_OPS:
+                tokens.append(Token(OP, ch, line_no, pos + 1))
+                pos += 1
+                emitted = True
+                continue
+            raise ParseError(f"unexpected character {ch!r}", line_no, pos + 1)
+        if emitted:
+            tokens.append(Token(NEWLINE, "\n", line_no, length + 1))
+    tokens.append(Token(EOF, "", line_no + 1, 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == IDENT and token.text.upper() == word.upper()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.line, token.column
+            )
+        return self.next()
+
+    def skip_newlines(self) -> None:
+        while self.accept(NEWLINE):
+            pass
+
+    def expect_end_of_line(self) -> None:
+        if self.at(EOF):
+            return
+        self.expect(NEWLINE)
+
+    def at_eof(self) -> bool:
+        return self.at(EOF)

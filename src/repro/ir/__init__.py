@@ -1,0 +1,67 @@
+"""Loop-nest intermediate representation.
+
+Expressions (:mod:`repro.ir.expr`), statements and programs
+(:mod:`repro.ir.nodes`), affine lowering (:mod:`repro.ir.affine`) and
+source-text rendering (:mod:`repro.ir.pprint`).
+"""
+
+from .affine import is_loop_invariant, to_linexpr, to_poly
+from .expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Deref,
+    Expr,
+    IntLit,
+    Name,
+    UnaryOp,
+    evaluate_expr,
+    substitute_name,
+)
+from .nodes import (
+    ArrayDecl,
+    CommonBlock,
+    ArrayDim,
+    Assignment,
+    Equivalence,
+    Loop,
+    Program,
+    RefContext,
+    Stmt,
+    collect_refs,
+    common_loop_count,
+)
+from .interp import InterpreterError, Store, run_program
+from .pprint import format_program, format_statements
+
+__all__ = [
+    "ArrayDecl",
+    "ArrayDim",
+    "ArrayRef",
+    "Assignment",
+    "BinOp",
+    "Call",
+    "CommonBlock",
+    "Deref",
+    "Equivalence",
+    "Expr",
+    "IntLit",
+    "InterpreterError",
+    "Loop",
+    "Name",
+    "Program",
+    "RefContext",
+    "Stmt",
+    "Store",
+    "UnaryOp",
+    "collect_refs",
+    "common_loop_count",
+    "evaluate_expr",
+    "format_program",
+    "format_statements",
+    "is_loop_invariant",
+    "run_program",
+    "substitute_name",
+    "to_linexpr",
+    "to_poly",
+]

@@ -1,0 +1,128 @@
+"""A reference interpreter for the loop-nest IR.
+
+Executes programs over a concrete memory (one dict per array, keyed by
+subscript tuples), with FORTRAN semantics: inclusive DO bounds, truncating
+integer division, reads of never-written cells defaulting to zero.
+
+Purpose: *semantic validation*.  The vectorizer's output is checked against
+this interpreter (see :mod:`repro.vectorizer.execute`): whatever the
+dependence analysis licensed must leave memory byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .expr import ArrayRef, BinOp, Call, Deref, Expr, IntLit, Name, UnaryOp
+from .nodes import Assignment, Loop, Program, Stmt
+
+
+class InterpreterError(Exception):
+    """The program cannot be executed (opaque call, missing value...)."""
+
+
+@dataclass
+class Store:
+    """Concrete memory: arrays plus scalar bindings."""
+
+    arrays: dict[str, dict[tuple[int, ...], int]] = field(default_factory=dict)
+    scalars: dict[str, int] = field(default_factory=dict)
+
+    def read(self, array: str, indices: tuple[int, ...]) -> int:
+        return self.arrays.get(array, {}).get(indices, 0)
+
+    def write(self, array: str, indices: tuple[int, ...], value: int) -> None:
+        self.arrays.setdefault(array, {})[indices] = value
+
+    def snapshot(self) -> dict[str, dict[tuple[int, ...], int]]:
+        return {
+            name: dict(cells) for name, cells in self.arrays.items() if cells
+        }
+
+
+def run_program(
+    program: Program,
+    env: Mapping[str, int] | None = None,
+    max_steps: int = 2_000_000,
+) -> Store:
+    """Execute a program; ``env`` supplies symbolic parameters/initials."""
+    store = Store(scalars=dict(env or {}))
+    budget = [max_steps]
+    _exec_stmts(program.body, store, {}, budget)
+    return store
+
+
+def _exec_stmts(
+    stmts: list[Stmt],
+    store: Store,
+    loops: dict[str, int],
+    budget: list[int],
+) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Loop):
+            lower = eval_expr(stmt.lower, store, loops)
+            upper = eval_expr(stmt.upper, store, loops)
+            step = eval_expr(stmt.step, store, loops)
+            if step <= 0:
+                raise InterpreterError(f"loop {stmt.var}: step {step}")
+            value = lower
+            while value <= upper:
+                _exec_stmts(stmt.body, store, {**loops, stmt.var: value}, budget)
+                value += step
+        elif isinstance(stmt, Assignment):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise InterpreterError("step budget exceeded")
+            execute_assignment(stmt, store, loops)
+        else:
+            raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+
+def execute_assignment(
+    stmt: Assignment, store: Store, loops: Mapping[str, int]
+) -> None:
+    value = eval_expr(stmt.rhs, store, loops)
+    if isinstance(stmt.lhs, ArrayRef):
+        indices = tuple(
+            eval_expr(s, store, loops) for s in stmt.lhs.subscripts
+        )
+        store.write(stmt.lhs.array, indices, value)
+    elif isinstance(stmt.lhs, Name):
+        store.scalars[stmt.lhs.name] = value
+    else:
+        raise InterpreterError(f"cannot assign to {stmt.lhs}")
+
+
+def eval_expr(
+    expr: Expr, store: Store, loops: Mapping[str, int]
+) -> int:
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Name):
+        if expr.name in loops:
+            return loops[expr.name]
+        if expr.name in store.scalars:
+            return store.scalars[expr.name]
+        raise InterpreterError(f"no value for {expr.name!r}")
+    if isinstance(expr, ArrayRef):
+        indices = tuple(eval_expr(s, store, loops) for s in expr.subscripts)
+        return store.read(expr.array, indices)
+    if isinstance(expr, UnaryOp):
+        return -eval_expr(expr.operand, store, loops)
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, store, loops)
+        right = eval_expr(expr.right, store, loops)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if right == 0:
+            raise InterpreterError(f"division by zero in {expr}")
+        quotient = abs(left) // abs(right)
+        return quotient if (left >= 0) == (right >= 0) else -quotient
+    if isinstance(expr, (Call, Deref)):
+        raise InterpreterError(f"cannot evaluate {expr}")
+    raise InterpreterError(f"unknown expression {type(expr).__name__}")

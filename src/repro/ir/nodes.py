@@ -1,0 +1,244 @@
+"""Loop-nest IR: programs, declarations, loops, statements.
+
+This mirrors the program model of the paper's Section 2 (Background): nests of
+DO loops around assignment statements whose array subscripts are (after
+lowering) linear functions of the loop variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .expr import ArrayRef, Expr, IntLit, Name
+
+
+@dataclass(frozen=True)
+class ArrayDim:
+    """One declared dimension ``lower:upper`` (FORTRAN style, inclusive)."""
+
+    lower: Expr
+    upper: Expr
+
+    @classmethod
+    def upto(cls, upper: "Expr | int") -> "ArrayDim":
+        """Dimension ``0:upper``."""
+        upper = IntLit(upper) if isinstance(upper, int) else upper
+        return cls(IntLit(0), upper)
+
+    def __str__(self) -> str:
+        return f"{self.lower}:{self.upper}"
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A declared array with element type and dimensions."""
+
+    name: str
+    dims: tuple[ArrayDim, ...]
+    elem_type: str = "REAL"
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.dims)
+        return f"{self.elem_type} {self.name}({dims})"
+
+
+@dataclass(frozen=True)
+class CommonBlock:
+    """FORTRAN ``COMMON /name/ A, B``: members laid out sequentially.
+
+    Storage association through COMMON is the second aliasing mechanism the
+    paper names; a member reference maps to the block's linear storage at
+    the member's cumulative offset.
+    """
+
+    name: str  # "" for blank COMMON
+    members: tuple[str, ...]
+
+    def __str__(self) -> str:
+        label = f"/{self.name}/" if self.name else ""
+        return f"COMMON {label}{', '.join(self.members)}"
+
+
+@dataclass(frozen=True)
+class Equivalence:
+    """FORTRAN ``EQUIVALENCE (A, B)``: the named arrays share storage.
+
+    We support the common first-element association; both arrays are then
+    considered linearized over the shared storage (the ANSI requirement the
+    paper quotes).
+    """
+
+    arrays: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"EQUIVALENCE ({', '.join(self.arrays)})"
+
+
+class Stmt:
+    """Base class of executable statements."""
+
+
+@dataclass
+class Assignment(Stmt):
+    """``lhs = rhs`` where lhs is an array element or a scalar."""
+
+    lhs: Expr  # ArrayRef or Name
+    rhs: Expr
+    label: str | None = None  # statement id, e.g. "S1"; assigned by Program
+
+    def refs(self) -> list[tuple[ArrayRef, bool]]:
+        """All array references with a writes? flag (lhs True, rhs False)."""
+        out: list[tuple[ArrayRef, bool]] = []
+        if isinstance(self.lhs, ArrayRef):
+            out.append((self.lhs, True))
+        out.extend(
+            (node, False)
+            for node in self.rhs.walk()
+            if isinstance(node, ArrayRef)
+        )
+        # Subscripts of the written reference are *read*.
+        if isinstance(self.lhs, ArrayRef):
+            for sub in self.lhs.subscripts:
+                out.extend(
+                    (node, False)
+                    for node in sub.walk()
+                    if isinstance(node, ArrayRef)
+                )
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass
+class Loop(Stmt):
+    """A DO loop ``DO var = lower, upper, step`` with a statement body."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    body: list[Stmt] = field(default_factory=list)
+    step: Expr = field(default_factory=lambda: IntLit(1))
+
+    def __str__(self) -> str:
+        head = f"DO {self.var} = {self.lower}, {self.upper}"
+        if self.step != IntLit(1):
+            head += f", {self.step}"
+        return head
+
+
+@dataclass
+class Program:
+    """A whole analyzable unit: declarations plus a statement list."""
+
+    decls: dict[str, ArrayDecl] = field(default_factory=dict)
+    equivalences: list[Equivalence] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    name: str = "MAIN"
+    commons: list[CommonBlock] = field(default_factory=list)
+
+    def declare(self, decl: ArrayDecl) -> None:
+        if decl.name in self.decls:
+            raise ValueError(f"array {decl.name} declared twice")
+        self.decls[decl.name] = decl
+
+    def array(self, name: str) -> ArrayDecl | None:
+        return self.decls.get(name)
+
+    # -- traversal ----------------------------------------------------------
+
+    def walk_statements(self) -> Iterator[tuple[Assignment, tuple[Loop, ...]]]:
+        """Yield every assignment with its enclosing loop tuple, in order."""
+        yield from _walk(self.body, ())
+
+    def assignments(self) -> list[Assignment]:
+        return [stmt for stmt, _ in self.walk_statements()]
+
+    def number_statements(self, prefix: str = "S") -> None:
+        """Assign labels S1, S2, ... to assignments in textual order."""
+        for index, (stmt, _) in enumerate(self.walk_statements(), start=1):
+            stmt.label = f"{prefix}{index}"
+
+    def loop_variables(self) -> set[str]:
+        out: set[str] = set()
+        stack = list(self.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Loop):
+                out.add(node.var)
+                stack.extend(node.body)
+        return out
+
+    def statement(self, label: str) -> Assignment:
+        for stmt in self.assignments():
+            if stmt.label == label:
+                return stmt
+        raise KeyError(f"no statement labelled {label!r}")
+
+
+def _walk(
+    stmts: Sequence[Stmt], loops: tuple[Loop, ...]
+) -> Iterator[tuple[Assignment, tuple[Loop, ...]]]:
+    for stmt in stmts:
+        if isinstance(stmt, Assignment):
+            yield stmt, loops
+        elif isinstance(stmt, Loop):
+            yield from _walk(stmt.body, loops + (stmt,))
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+@dataclass(frozen=True)
+class RefContext:
+    """An array reference in context: statement, nest, read/write."""
+
+    ref: ArrayRef
+    stmt: Assignment
+    loops: tuple[Loop, ...]
+    is_write: bool
+
+    @property
+    def loop_vars(self) -> tuple[str, ...]:
+        return tuple(loop.var for loop in self.loops)
+
+    def __str__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"{self.stmt.label}:{self.ref} ({kind})"
+
+
+def collect_refs(program: Program, array: str | None = None) -> list[RefContext]:
+    """All array references of a program (optionally of one array), in order."""
+    out: list[RefContext] = []
+    for stmt, loops in program.walk_statements():
+        for ref, is_write in stmt.refs():
+            if array is None or ref.array == array:
+                out.append(RefContext(ref, stmt, loops, is_write))
+    return out
+
+
+def common_loop_count(a: RefContext, b: RefContext) -> int:
+    """Number of shared outermost loops (n0 in the paper)."""
+    count = 0
+    for loop_a, loop_b in zip(a.loops, b.loops):
+        if loop_a is loop_b:
+            count += 1
+        else:
+            break
+    return count
+
+
+def scalar_names_read(expr: Expr, declared_arrays: set[str]) -> set[str]:
+    """Scalar variable names read by an expression (excludes array names)."""
+    out = set()
+    for node in expr.walk():
+        if isinstance(node, Name):
+            out.add(node.name)
+        if isinstance(node, ArrayRef) and node.array not in declared_arrays:
+            # Undeclared array treated as unknown function of subscripts.
+            pass
+    return out

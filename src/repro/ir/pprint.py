@@ -1,0 +1,53 @@
+"""Pretty-printing of the IR as FORTRAN-77-style source text.
+
+Used by the examples, the vectorizer (before/after listings) and the corpus
+generator.  The output parses back through :mod:`repro.frontend.fortran`,
+which the round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from .expr import IntLit
+from .nodes import Assignment, Loop, Program, Stmt
+
+
+def format_program(program: Program, indent: str = "  ") -> str:
+    """Render a whole program (declarations + body) as source text."""
+    lines: list[str] = []
+    for decl in program.decls.values():
+        if not decl.dims:
+            continue  # implicit declaration: shape unknown, nothing to print
+        dims = ", ".join(str(d) for d in decl.dims)
+        lines.append(f"{decl.elem_type} {decl.name}({dims})")
+    for common in program.commons:
+        lines.append(str(common))
+    for equiv in program.equivalences:
+        lines.append(str(equiv))
+    lines.extend(_format_stmts(program.body, 0, indent))
+    return "\n".join(lines) + "\n"
+
+
+def format_statements(stmts: list[Stmt], indent: str = "  ") -> str:
+    """Render a statement list only (no declarations)."""
+    return "\n".join(_format_stmts(stmts, 0, indent)) + "\n"
+
+
+def _format_stmts(stmts: list[Stmt], depth: int, indent: str) -> list[str]:
+    lines: list[str] = []
+    pad = indent * depth
+    for stmt in stmts:
+        if isinstance(stmt, Loop):
+            head = f"DO {stmt.var} = {stmt.lower}, {stmt.upper}"
+            if stmt.step != IntLit(1):
+                head += f", {stmt.step}"
+            lines.append(pad + head)
+            lines.extend(_format_stmts(stmt.body, depth + 1, indent))
+            lines.append(pad + "ENDDO")
+        elif isinstance(stmt, Assignment):
+            text = f"{stmt.lhs} = {stmt.rhs}"
+            if stmt.label:
+                text = f"{text}  ! {stmt.label}"
+            lines.append(pad + text)
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+    return lines

@@ -1,0 +1,21 @@
+"""Integer symbolic engine: polynomials, assumptions, affine expressions.
+
+This package is the numeric substrate for the whole library.  It is
+self-contained (pure Python, no third-party dependencies) and models the
+"loop-invariant integer expressions" that the paper's Section 4 ("Symbolics
+handling") allows as coefficients of dependence equations.
+"""
+
+from .assumptions import Assumptions
+from .linexpr import LinExpr, linear_combination
+from .poly import Poly, PolyLike, poly_gcd, poly_gcd_many
+
+__all__ = [
+    "Assumptions",
+    "LinExpr",
+    "Poly",
+    "PolyLike",
+    "linear_combination",
+    "poly_gcd",
+    "poly_gcd_many",
+]

@@ -1,0 +1,141 @@
+"""Assumption-based comparison of integer polynomials.
+
+The symbolic delinearization example in the paper needs facts such as
+
+    "Since N**3 - 1 is an upper bound of array A, N**3 >= 1 and
+     therefore N >= 1.  Knowing this ... N - 1 < N is a true inequality
+     for any N, ... N**2 + N <= N**2 * N for any N > 1."
+
+We capture such knowledge as *lower bounds on symbols* and decide polynomial
+inequalities with a sound, incomplete procedure:
+
+    to prove ``p >= 0`` for all integer assignments with ``s >= L_s``,
+    substitute ``s = L_s + t_s`` with fresh ``t_s >= 0`` and check that the
+    expanded polynomial has only non-negative coefficients.
+
+The check is sufficient (never wrongly claims an inequality) and handles every
+comparison the paper's symbolic example requires.  When a bound cannot be
+proven either way the query answers ``None`` and callers fall back to
+conservative behaviour (no dimension split).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .poly import Poly, PolyLike
+
+
+class Assumptions:
+    """A set of integer lower bounds on symbols, e.g. ``{"N": 1}``.
+
+    Symbols without a recorded bound are *unconstrained*: no inequality that
+    mentions them can be proven.
+
+    >>> a = Assumptions({"N": 1})
+    >>> n = Poly.symbol("N")
+    >>> a.is_nonneg(n * n - n)   # N^2 - N >= 0 whenever N >= 1
+    True
+    >>> a.is_nonneg(n - 5) is None
+    True
+    """
+
+    def __init__(self, lower_bounds: Mapping[str, int] | None = None):
+        self._lower: dict[str, int] = dict(lower_bounds or {})
+
+    @classmethod
+    def empty(cls) -> "Assumptions":
+        return cls()
+
+    def lower_bound(self, symbol: str) -> int | None:
+        """The recorded lower bound for ``symbol`` (None when unknown)."""
+        return self._lower.get(symbol)
+
+    def with_bound(self, symbol: str, lower: int) -> "Assumptions":
+        """A new assumption set with ``symbol >= lower`` added (tightening only)."""
+        merged = dict(self._lower)
+        if symbol in merged:
+            merged[symbol] = max(merged[symbol], lower)
+        else:
+            merged[symbol] = lower
+        return Assumptions(merged)
+
+    # -- provers ------------------------------------------------------------
+
+    def is_nonneg(self, p: PolyLike) -> bool | None:
+        """Prove ``p >= 0`` under the assumptions.
+
+        Returns True when proven, None when unknown.  (The procedure cannot
+        prove negations; use ``is_nonneg(-p)`` for the other direction.)
+        """
+        p = Poly.coerce(p)
+        if p.is_constant():
+            return True if p.as_int() >= 0 else None
+        substitution: dict[str, Poly] = {}
+        for sym in p.symbols():
+            lower = self._lower.get(sym)
+            if lower is None:
+                return None
+            # s = lower + t_s with t_s >= 0; reuse the original name for t.
+            substitution[sym] = Poly.symbol(f"_t_{sym}") + lower
+        shifted = p.subs(substitution)
+        if all(coeff >= 0 for coeff in shifted.terms.values()):
+            return True
+        return None
+
+    def is_nonpos(self, p: PolyLike) -> bool | None:
+        """Prove ``p <= 0``."""
+        return self.is_nonneg(-Poly.coerce(p))
+
+    def is_pos(self, p: PolyLike) -> bool | None:
+        """Prove ``p >= 1`` (strict positivity for integer-valued p)."""
+        return self.is_nonneg(Poly.coerce(p) - 1)
+
+    def is_neg(self, p: PolyLike) -> bool | None:
+        """Prove ``p <= -1``."""
+        return self.is_nonneg(-Poly.coerce(p) - 1)
+
+    def is_lt(self, a: PolyLike, b: PolyLike) -> bool | None:
+        """Prove ``a < b`` (for integer values: ``b - a >= 1``)."""
+        return self.is_pos(Poly.coerce(b) - Poly.coerce(a))
+
+    def is_le(self, a: PolyLike, b: PolyLike) -> bool | None:
+        """Prove ``a <= b``."""
+        return self.is_nonneg(Poly.coerce(b) - Poly.coerce(a))
+
+    def sign(self, p: PolyLike) -> int | None:
+        """Return a proven sign: +1, -1, 0, or None when undecided.
+
+        +1 means ``p >= 0`` and p is not the zero polynomial (for sorting by
+        magnitude a weak sign suffices); 0 means p is identically zero.
+        """
+        p = Poly.coerce(p)
+        if p.is_zero():
+            return 0
+        if p.is_constant():
+            return 1 if p.as_int() > 0 else -1
+        if self.is_nonneg(p):
+            return 1
+        if self.is_nonpos(p):
+            return -1
+        return None
+
+    def abs_poly(self, p: PolyLike) -> Poly | None:
+        """Return a polynomial equal to ``|p|`` when the sign is provable."""
+        p = Poly.coerce(p)
+        sgn = self.sign(p)
+        if sgn is None:
+            return None
+        return p if sgn >= 0 else -p
+
+    def abs_le(self, a: PolyLike, b: PolyLike) -> bool | None:
+        """Prove ``|a| <= |b|`` (requires provable signs of both)."""
+        abs_a = self.abs_poly(a)
+        abs_b = self.abs_poly(b)
+        if abs_a is None or abs_b is None:
+            return None
+        return self.is_le(abs_a, abs_b)
+
+    def __repr__(self) -> str:
+        bounds = ", ".join(f"{s} >= {v}" for s, v in sorted(self._lower.items()))
+        return f"Assumptions({bounds})"

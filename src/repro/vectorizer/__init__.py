@@ -1,0 +1,23 @@
+"""The VIC-style vectorizer: Allen–Kennedy codegen over dependence graphs."""
+
+from .allen_kennedy import VectorizationResult, VectorLoop, vectorize
+from .emit_c import CEmissionError, emit_c_program
+from .execute import run_schedule
+from .emit_f90 import emit_program
+from .scc import has_cycle, strongly_connected_components
+from .transforms import interchange, interchange_legal, parallel_levels
+
+__all__ = [
+    "CEmissionError",
+    "VectorLoop",
+    "VectorizationResult",
+    "emit_c_program",
+    "emit_program",
+    "run_schedule",
+    "has_cycle",
+    "interchange",
+    "interchange_legal",
+    "parallel_levels",
+    "strongly_connected_components",
+    "vectorize",
+]

@@ -1,0 +1,142 @@
+"""Rendering a vectorization plan as annotated C (the paper's "Vector C").
+
+The paper's translator could prettyprint its output "in the form of
+FORTRAN-90 or Vector C"; this emitter is the C-shaped backend: serial loops
+become plain ``for`` statements, parallel loops get a
+``#pragma parallel for`` annotation (the modern spelling of Vector C's
+parallel loop), and array references use C bracket syntax with the declared
+lower bound folded away.
+
+Only programs whose arrays have constant dimensions emit (C's declaration
+rules); symbolic shapes raise.
+"""
+
+from __future__ import annotations
+
+from ..ir import ArrayRef, Assignment, BinOp, Call, Expr, IntLit, Loop, Name, UnaryOp
+from ..ir import to_poly
+from ..ir.fold import fold, simplify
+from .allen_kennedy import VectorizationResult, VectorLoop
+
+
+class CEmissionError(Exception):
+    """The program cannot be rendered as C."""
+
+
+def emit_c_program(result: VectorizationResult, indent: str = "    ") -> str:
+    """Render the plan as a C function body with parallel-for pragmas."""
+    lines: list[str] = []
+    for decl in result.program.decls.values():
+        if not decl.dims:
+            continue
+        lines.append(_c_declaration(decl))
+    lines.append("")
+    lines.extend(_emit_nodes(result.schedule, 0, indent, result))
+    return "\n".join(lines) + "\n"
+
+
+def _c_declaration(decl) -> str:
+    parts = []
+    for dim in decl.dims:
+        extent = to_poly(fold(BinOp("+", BinOp("-", dim.upper, dim.lower), IntLit(1))))
+        if extent is None or not extent.is_constant():
+            raise CEmissionError(
+                f"array {decl.name}: symbolic extent cannot emit as C"
+            )
+        parts.append(f"[{extent.as_int()}]")
+    base = {"REAL": "float", "DOUBLE PRECISION": "double", "INTEGER": "int"}.get(
+        decl.elem_type, "float"
+    )
+    return f"{base} {decl.name}{''.join(parts)};"
+
+
+def _emit_nodes(
+    nodes: list, depth: int, indent: str, result: VectorizationResult
+) -> list[str]:
+    lines: list[str] = []
+    pad = indent * depth
+    for node in nodes:
+        if node[0] == "loop":
+            _, loop, _level, children = node
+            lines.append(pad + _for_header(loop))
+            lines.extend(_emit_nodes(children, depth + 1, indent, result))
+            lines.append(pad + "}")
+        else:
+            _, entry = node
+            lines.extend(_emit_statement(entry, depth, indent, result))
+    return lines
+
+
+def _for_header(loop: Loop) -> str:
+    return (
+        f"for (int {loop.var} = {_c_expr(loop.lower)}; "
+        f"{loop.var} <= {_c_expr(loop.upper)}; {loop.var}++) {{"
+    )
+
+
+def _emit_statement(
+    entry: VectorLoop, depth: int, indent: str, result: VectorizationResult
+) -> list[str]:
+    lines: list[str] = []
+    pad = indent * depth
+    extra = 0
+    for level in entry.vector_levels:
+        loop = entry.loops[level - 1]
+        lines.append((pad + indent * extra) + "#pragma parallel for")
+        lines.append((pad + indent * extra) + _for_header(loop))
+        extra += 1
+    body_pad = pad + indent * extra
+    lhs = _c_expr(entry.stmt.lhs, result)
+    rhs = _c_expr(entry.stmt.rhs, result)
+    label = f"  /* {entry.stmt.label} */" if entry.stmt.label else ""
+    lines.append(f"{body_pad}{lhs} = {rhs};{label}")
+    for _ in entry.vector_levels:
+        extra -= 1
+        lines.append((pad + indent * extra) + "}")
+    return lines
+
+
+def _c_expr(expr: Expr, result: VectorizationResult | None = None) -> str:
+    if isinstance(expr, ArrayRef):
+        decl = result.program.array(expr.array) if result else None
+        parts = []
+        for index, sub in enumerate(expr.subscripts):
+            shifted = sub
+            if decl is not None and decl.dims and index < len(decl.dims):
+                shifted = simplify(BinOp("-", sub, decl.dims[index].lower))
+            parts.append(f"[{_c_expr(shifted, result)}]")
+        return f"{expr.array}{''.join(parts)}"
+    if isinstance(expr, BinOp):
+        left = _c_operand(expr.left, expr.op, True, result)
+        right = _c_operand(expr.right, expr.op, False, result)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, UnaryOp):
+        return f"-{_c_operand(expr.operand, '*', False, result)}"
+    if isinstance(expr, Call):
+        args = ", ".join(_c_expr(a, result) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, (Name, IntLit)):
+        return str(expr)
+    raise CEmissionError(f"cannot render {expr!r} as C")
+
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def _c_operand(
+    expr: Expr,
+    parent_op: str,
+    is_left: bool,
+    result: VectorizationResult | None,
+) -> str:
+    text = _c_expr(expr, result)
+    if isinstance(expr, BinOp):
+        child = _PRECEDENCE[expr.op]
+        parent = _PRECEDENCE[parent_op]
+        if child < parent or (
+            child == parent and not is_left and parent_op in ("-", "/")
+        ):
+            return f"({text})"
+    if isinstance(expr, UnaryOp) and not is_left:
+        return f"({text})"
+    return text

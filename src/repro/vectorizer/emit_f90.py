@@ -1,0 +1,178 @@
+"""Rendering a vectorization plan as FORTRAN-90-style source text.
+
+Vector loops whose subscripts are affine in a single vector variable per
+subscript position become array sections ``A(lo:hi:stride)``; vector loops
+that cannot be expressed as sections (e.g. linearized subscripts combining
+two vector variables in one position) are emitted as explicit ``DOALL``
+loops — semantically a parallel loop, which is what the dependence analysis
+licensed.  Serial loops stay ``DO``.
+"""
+
+from __future__ import annotations
+
+from ..ir import Assignment, BinOp, Call, Deref, Expr, IntLit, Loop, Name, UnaryOp
+from ..ir.expr import ArrayRef
+from ..ir.fold import fold, simplify
+from ..ir import to_linexpr
+from .allen_kennedy import VectorizationResult, VectorLoop
+
+
+def emit_program(result: VectorizationResult, indent: str = "  ") -> str:
+    """Render the full transformed program (declarations + schedule)."""
+    lines: list[str] = []
+    for decl in result.program.decls.values():
+        if not decl.dims:
+            continue  # implicit declaration: shape unknown
+        dims = ", ".join(str(d) for d in decl.dims)
+        lines.append(f"{decl.elem_type} {decl.name}({dims})")
+    lines.extend(_emit_nodes(result.schedule, 0, indent))
+    return "\n".join(lines) + "\n"
+
+
+def _emit_nodes(nodes: list, depth: int, indent: str) -> list[str]:
+    lines: list[str] = []
+    pad = indent * depth
+    for node in nodes:
+        if node[0] == "loop":
+            _, loop, _level, children = node
+            lines.append(pad + f"DO {loop.var} = {loop.lower}, {loop.upper}")
+            lines.extend(_emit_nodes(children, depth + 1, indent))
+            lines.append(pad + "ENDDO")
+        else:
+            _, entry = node
+            lines.extend(_emit_statement(entry, depth, indent))
+    return lines
+
+
+def _emit_statement(
+    entry: VectorLoop, depth: int, indent: str
+) -> list[str]:
+    pad = indent * depth
+    vector_vars = {
+        entry.loops[level - 1].var: entry.loops[level - 1]
+        for level in entry.vector_levels
+    }
+    sectionable = _sectionable_vars(entry.stmt, set(vector_vars))
+    doall_vars = [v for v in vector_vars if v not in sectionable]
+
+    lines = []
+    extra = 0
+    for var in doall_vars:
+        loop = vector_vars[var]
+        lines.append(
+            (pad + indent * extra)
+            + f"DOALL {loop.var} = {loop.lower}, {loop.upper}"
+        )
+        extra += 1
+    body_pad = pad + indent * extra
+    sections = {
+        var: vector_vars[var] for var in sectionable if var in vector_vars
+    }
+    lhs = _render(entry.stmt.lhs, sections)
+    rhs = _render(entry.stmt.rhs, sections)
+    label = f"  ! {entry.stmt.label}" if entry.stmt.label else ""
+    lines.append(f"{body_pad}{lhs} = {rhs}{label}")
+    for _ in doall_vars:
+        extra -= 1
+        lines.append((pad + indent * extra) + "ENDDO")
+    return lines
+
+
+def _sectionable_vars(stmt: Assignment, vector_vars: set[str]) -> set[str]:
+    """Vector variables expressible as array sections in this statement.
+
+    A variable qualifies when every subscript mentioning it is affine and
+    mentions no *other* vector variable (one vector variable per subscript
+    position).  Scalar assignments cannot take sections.
+    """
+    if not isinstance(stmt.lhs, ArrayRef):
+        return set()
+    good = set(vector_vars)
+    for ref, _ in stmt.refs():
+        for sub in ref.subscripts:
+            mentioned = sub.names() & vector_vars
+            if not mentioned:
+                continue
+            lowered = to_linexpr(sub, set(mentioned))
+            if lowered is None or len(mentioned) > 1:
+                good -= mentioned
+    # RHS scalar names are fine (broadcast); vector vars appearing outside
+    # any subscript (e.g. X(i) = i) cannot be sectioned.
+    for node in _non_subscript_names(stmt):
+        good.discard(node)
+    return good
+
+
+def _non_subscript_names(stmt: Assignment) -> set[str]:
+    """Names appearing outside array subscripts in the statement."""
+    out: set[str] = set()
+
+    def walk(expr: Expr) -> None:
+        if isinstance(expr, Name):
+            out.add(expr.name)
+        elif isinstance(expr, ArrayRef):
+            return  # subscript names do not count
+        elif isinstance(expr, (BinOp,)):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, UnaryOp):
+            walk(expr.operand)
+        elif isinstance(expr, (Call, Deref)):
+            for child in expr.children():
+                walk(child)
+
+    if isinstance(stmt.lhs, ArrayRef):
+        pass
+    else:
+        walk(stmt.lhs)
+    walk(stmt.rhs)
+    return out
+
+
+def _render(expr: Expr, sections: dict[str, Loop]) -> str:
+    if isinstance(expr, ArrayRef):
+        rendered = []
+        for sub in expr.subscripts:
+            mentioned = sub.names() & set(sections)
+            if mentioned:
+                (var,) = mentioned
+                rendered.append(_section(sub, sections[var]))
+            else:
+                rendered.append(str(fold(sub)))
+        return f"{expr.array}({', '.join(rendered)})"
+    if isinstance(expr, BinOp):
+        left = _render(expr.left, sections)
+        right = _render(expr.right, sections)
+        return f"{left}{expr.op}{right}" if _simple(expr) else f"({left}){expr.op}({right})"
+    if isinstance(expr, UnaryOp):
+        return f"-{_render(expr.operand, sections)}"
+    if isinstance(expr, Call):
+        args = ", ".join(_render(a, sections) for a in expr.args)
+        return f"{expr.func}({args})"
+    return str(expr)
+
+
+def _simple(expr: BinOp) -> bool:
+    return not (
+        isinstance(expr.left, BinOp)
+        and expr.op in ("*", "/")
+        or isinstance(expr.right, BinOp)
+        and expr.op in ("*", "/", "-")
+    )
+
+
+def _section(sub: Expr, loop: Loop) -> str:
+    """Render ``sub`` over the loop range as ``lo:hi[:stride]``."""
+    from ..ir import substitute_name
+
+    first = simplify(substitute_name(sub, loop.var, loop.lower))
+    last = simplify(substitute_name(sub, loop.var, loop.upper))
+    lowered = to_linexpr(sub, {loop.var})
+    stride = lowered.coeff(loop.var) if lowered is not None else None
+    if stride is not None and stride.is_constant():
+        value = stride.as_int()
+        if value != 1:
+            # Iteration order is preserved: a descending subscript emits a
+            # reversed range with its negative stride (D(9:0:-1)).
+            return f"{first}:{last}:{value}"
+    return f"{first}:{last}"

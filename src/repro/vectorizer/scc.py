@@ -1,0 +1,96 @@
+"""Strongly connected components (Tarjan's algorithm, iterative).
+
+Self-contained implementation (no networkx): the vectorizer's loop
+distribution step needs SCCs of the statement dependence graph in reverse
+topological order, which is exactly the order Tarjan emits them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def strongly_connected_components(
+    nodes: Iterable[Node],
+    successors: Mapping[Node, Iterable[Node]],
+) -> list[list[Node]]:
+    """SCCs of a directed graph, in *topological* order of the condensation.
+
+    ``successors`` may omit nodes with no outgoing edges.  Nodes listed in
+    ``successors`` values but absent from ``nodes`` are ignored.
+    """
+    node_list = list(nodes)
+    node_set = set(node_list)
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in node_list:
+        if root in index:
+            continue
+        # Iterative Tarjan: work entries are (node, iterator over succs).
+        work = [(root, iter(_neighbors(root, successors, node_set)))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter(_neighbors(succ, successors, node_set)))
+                    )
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    # Tarjan emits components in reverse topological order.
+    components.reverse()
+    return components
+
+
+def _neighbors(
+    node: Node, successors: Mapping[Node, Iterable[Node]], node_set: set[Node]
+) -> Sequence[Node]:
+    return [n for n in successors.get(node, ()) if n in node_set]
+
+
+def has_cycle(
+    nodes: Iterable[Node], successors: Mapping[Node, Iterable[Node]]
+) -> bool:
+    """True when the graph contains any cycle (incl. self loops)."""
+    node_list = list(nodes)
+    node_set = set(node_list)
+    for node in node_list:
+        if node in _neighbors(node, successors, node_set):
+            return True
+    return any(
+        len(c) > 1
+        for c in strongly_connected_components(node_list, successors)
+    )

@@ -1,0 +1,87 @@
+"""Tests for the static semantic checker."""
+
+from repro.analysis import check_program, normalize_program
+from repro.frontend import parse_fortran
+from repro.symbolic import Assumptions
+
+
+def diagnostics_for(source, assumptions=None):
+    program = normalize_program(parse_fortran(source))
+    return check_program(program, assumptions)
+
+
+class TestRank:
+    def test_rank_mismatch(self):
+        diags = diagnostics_for(
+            "REAL A(0:9,0:9)\nDO i = 0, 9\nA(i) = 1\nENDDO\n"
+        )
+        assert any("rank 1" in d.message for d in diags)
+        assert any(d.severity == "error" for d in diags)
+
+    def test_correct_rank_clean(self):
+        diags = diagnostics_for(
+            "REAL A(0:9,0:9)\nDO i = 0, 9\nA(i, i) = 1\nENDDO\n"
+        )
+        assert diags == []
+
+
+class TestBounds:
+    def test_overrun_detected(self):
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, 9\nA(i+5) = 1\nENDDO\n"
+        )
+        assert any("overrun" in d.message for d in diags)
+
+    def test_underrun_detected(self):
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, 9\nA(i-2) = 1\nENDDO\n"
+        )
+        assert any("underrun" in d.message for d in diags)
+
+    def test_disjoint_range_is_error(self):
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, 4\nA(i+100) = 1\nENDDO\n"
+        )
+        assert any(
+            d.severity == "error" and "never intersects" in d.message
+            for d in diags
+        )
+
+    def test_in_bounds_clean(self):
+        diags = diagnostics_for(
+            "REAL C(0:99)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n1 C(i+10*j) = C(i+10*j+5)\n"
+        )
+        # i+10*j+5 tops out at 99: conforming.
+        assert diags == []
+
+    def test_lower_bound_one_arrays(self):
+        diags = diagnostics_for(
+            "REAL X(200)\nDO i = 1, 100\nX(i) = 1\nENDDO\n"
+        )
+        assert diags == []
+
+    def test_opaque_subscript_skipped(self):
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, 9\nA(IFUN(i)) = 1\nENDDO\n"
+        )
+        assert diags == []
+
+    def test_symbolic_with_assumptions(self):
+        diags = diagnostics_for(
+            "REAL A(0:N-1)\nDO i = 0, N-1\nA(i+1) = 1\nENDDO\n",
+            Assumptions({"N": 1}),
+        )
+        assert any("overrun" in d.message for d in diags)
+
+
+class TestLoops:
+    def test_empty_loop_warned(self):
+        diags = diagnostics_for("REAL A(0:9)\nDO i = 0, -3\nA(0) = 1\nENDDO\n")
+        assert any("empty range" in d.message for d in diags)
+
+    def test_diagnostic_str(self):
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, 9\nA(i+5) = 1\nENDDO\n"
+        )
+        text = str(diags[0])
+        assert "warning" in text and "S1" in text

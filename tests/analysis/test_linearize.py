@@ -1,0 +1,158 @@
+"""Tests for array linearization and EQUIVALENCE handling."""
+
+import pytest
+
+from repro.analysis import (
+    LinearizationError,
+    alias_groups,
+    count_linearized_nests,
+    is_linearized_subscript,
+    layout_of,
+    linearize_program,
+    partially_linearize,
+)
+from repro.frontend import parse_fortran
+from repro.ir import Name, format_program
+
+
+class TestLayout:
+    def test_column_major_offset(self):
+        p = parse_fortran("REAL A(0:9,0:9)\n")
+        layout = layout_of(p.array("A"))
+        ref = parse_fortran("REAL A(0:9,0:9)\nA(i, j) = 0\n").assignments()[0].lhs
+        offset = layout.offset(ref.subscripts)
+        assert str(offset) == "i+j*10"
+
+    def test_lower_bound_shift(self):
+        p = parse_fortran("REAL A(1:10,1:10)\n")
+        layout = layout_of(p.array("A"))
+        ref = parse_fortran("REAL A(1:10,1:10)\nA(i, j) = 0\n").assignments()[0].lhs
+        assert str(layout.offset(ref.subscripts)) == "i-1+(j-1)*10"
+
+    def test_size(self):
+        p = parse_fortran("REAL A(0:9,0:9)\n")
+        assert str(layout_of(p.array("A")).size()) == "100"
+
+    def test_rank_mismatch_rejected(self):
+        p = parse_fortran("REAL A(0:9,0:9)\n")
+        layout = layout_of(p.array("A"))
+        with pytest.raises(LinearizationError):
+            layout.offset((Name("i"),))
+
+    def test_implicit_array_rejected(self):
+        p = parse_fortran("C(J) = 1\n")
+        with pytest.raises(LinearizationError):
+            layout_of(p.array("C"))
+
+
+class TestAliasGroups:
+    def test_single_group(self):
+        p = parse_fortran(
+            "REAL A(10)\nREAL B(10)\nEQUIVALENCE (A, B)\n"
+        )
+        assert alias_groups(p) == [{"A", "B"}]
+
+    def test_transitive_groups(self):
+        p = parse_fortran(
+            "REAL A(10)\nREAL B(10)\nREAL C(10)\nREAL D(10)\n"
+            "EQUIVALENCE (A, B)\nEQUIVALENCE (B, C)\n"
+        )
+        groups = alias_groups(p)
+        assert {"A", "B", "C"} in groups
+        assert all("D" not in g for g in groups)
+
+    def test_no_equivalence(self):
+        p = parse_fortran("REAL A(10)\n")
+        assert alias_groups(p) == []
+
+
+class TestLinearizeProgram:
+    SOURCE = """
+        REAL A(0:9,0:9)
+        REAL B(0:4,0:19)
+        EQUIVALENCE (A, B)
+        DO 1 i = 0, 4
+        DO 1 j = 0, 9
+        1 A(i, j) = B(i, 2*j+1)
+    """
+
+    def test_paper_equivalence_example(self):
+        p = linearize_program(parse_fortran(self.SOURCE))
+        text = format_program(p)
+        assert "_stor1(0:99)" in text
+        assert "_stor1(i+j*10)" in text
+        # B(i, 2j+1) linearizes over B's 5x20 shape: i + (2j+1)*5.
+        assert "_stor1(i+(2*j+1)*5)" in text
+
+    def test_equivalence_dropped_after_linearization(self):
+        p = linearize_program(parse_fortran(self.SOURCE))
+        assert p.equivalences == []
+
+    def test_explicit_array_selection(self):
+        src = "REAL A(0:4,0:4)\nDO i = 0, 4\nA(i, i) = 1\nENDDO\n"
+        p = linearize_program(parse_fortran(src), arrays={"A"})
+        assert "_stor1(i+i*5)" in format_program(p)
+
+    def test_unknown_array_rejected(self):
+        p = parse_fortran("REAL A(10)\n")
+        with pytest.raises(LinearizationError):
+            linearize_program(p, arrays={"NOPE"})
+
+
+class TestPartialLinearization:
+    SOURCE = """
+        REAL A(0:9,0:9,0:9,0:9)
+        DO 1 i = 0, 4
+        DO 1 j = 0, 9
+        DO 1 k = 0, 9
+        DO 1 l = 0, 9
+        1 A(i, 2*j, k, IFUN(10)) = A(i, j, k, l)
+    """
+
+    def test_two_of_four_dimensions(self):
+        p = partially_linearize(parse_fortran(self.SOURCE), "A", 2)
+        text = format_program(p)
+        # First two dims fold into one 0:99 storage dimension, k and the
+        # opaque IFUN subscript survive untouched.
+        assert "A_lin(0:99, 0:9, 0:9)" in text
+        assert "A_lin(i+2*j*10, k, IFUN(10))" in text
+
+    def test_bad_dimension_counts(self):
+        p = parse_fortran(self.SOURCE)
+        with pytest.raises(LinearizationError):
+            partially_linearize(p, "A", 0)
+        with pytest.raises(LinearizationError):
+            partially_linearize(p, "A", 5)
+
+
+class TestDetector:
+    def test_linearized_subscript_detected(self):
+        ref = parse_fortran("C(i+10*j) = 1\n").assignments()[0].lhs
+        assert is_linearized_subscript(ref.subscripts[0], {"i", "j"})
+
+    def test_plain_subscript_not_detected(self):
+        ref = parse_fortran("REAL A(9,9)\nA(i, j) = 1\n").assignments()[0].lhs
+        assert not is_linearized_subscript(ref.subscripts[0], {"i", "j"})
+
+    def test_non_affine_not_detected(self):
+        ref = parse_fortran("C(i*j) = 1\n").assignments()[0].lhs
+        assert not is_linearized_subscript(ref.subscripts[0], {"i", "j"})
+
+    def test_count_nests(self):
+        src = """
+            REAL C(0:99), D(0:9)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+            DO 2 i = 0, 9
+            2 D(i) = D(i)
+        """
+        assert count_linearized_nests(parse_fortran(src)) == 1
+
+    def test_symbolic_strides_count(self):
+        src = """
+            DO 1 i = 0, N-1
+            DO 1 j = 0, N-1
+            1 B(i+N*j) = B(i+N*j)
+        """
+        assert count_linearized_nests(parse_fortran(src)) == 1

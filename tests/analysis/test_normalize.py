@@ -1,0 +1,113 @@
+"""Tests for loop normalization and rectangular bounds."""
+
+import pytest
+
+from repro.analysis import NormalizationError, normalize_program, rectangular_bounds
+from repro.frontend import parse_fortran
+from repro.ir import Loop, format_program
+from repro.symbolic import Poly
+
+
+class TestNormalization:
+    def test_already_normalized_untouched(self):
+        p = parse_fortran("REAL X(10)\nDO i = 0, 9\nX(i) = 1\nENDDO\n")
+        n = normalize_program(p)
+        loop = n.body[0]
+        assert str(loop.lower) == "0" and str(loop.upper) == "9"
+
+    def test_shifted_lower_bound(self):
+        p = parse_fortran("REAL X(10)\nDO i = 1, 100\nX(i) = 1\nENDDO\n")
+        n = normalize_program(p)
+        loop = n.body[0]
+        assert str(loop.lower) == "0"
+        assert str(loop.upper) == "99"
+        assert "X(1+i)" in format_program(n) or "X(i+1)" in format_program(n)
+
+    def test_step_loop(self):
+        p = parse_fortran("REAL X(100)\nDO i = 0, 90, 10\nX(i) = 1\nENDDO\n")
+        n = normalize_program(p)
+        loop = n.body[0]
+        assert str(loop.upper) == "9"
+        assert "X(10*i)" in format_program(n)
+
+    def test_truncating_trip_count(self):
+        p = parse_fortran("REAL X(100)\nDO i = 0, 7, 2\nX(i) = 1\nENDDO\n")
+        n = normalize_program(p)
+        assert str(n.body[0].upper) == "3"  # iterations 0,2,4,6
+
+    def test_loop_variant_lower(self):
+        p = parse_fortran(
+            "REAL X(100)\nDO j = 0, 9\nDO i = j, j+4\nX(i) = 1\nENDDO\nENDDO\n"
+        )
+        n = normalize_program(p)
+        inner = n.body[0].body[0]
+        assert str(inner.lower) == "0"
+        assert str(inner.upper) == "4"
+        assert "X(i+j)" in format_program(n)
+
+    def test_statement_labels_preserved_order(self):
+        p = parse_fortran(
+            "REAL X(9), Y(9)\nDO i = 1, 9\nX(i) = 1\nY(i) = 2\nENDDO\n"
+        )
+        n = normalize_program(p)
+        assert [s.label for s in n.assignments()] == ["S1", "S2"]
+
+    def test_symbolic_bounds_kept(self):
+        p = parse_fortran("REAL X(100)\nDO i = 0, N-1\nX(i) = 1\nENDDO\n")
+        n = normalize_program(p)
+        assert str(n.body[0].upper) == "N-1"
+
+    def test_negative_step_rejected(self):
+        p = parse_fortran("REAL X(10)\nDO i = 9, 0, -1\nX(i) = 1\nENDDO\n")
+        with pytest.raises(NormalizationError):
+            normalize_program(p)
+
+    def test_input_program_not_mutated(self):
+        p = parse_fortran("REAL X(10)\nDO i = 1, 9\nX(i) = 1\nENDDO\n")
+        before = format_program(p)
+        normalize_program(p)
+        assert format_program(p) == before
+
+
+class TestRectangularBounds:
+    def test_constant_bounds(self):
+        p = parse_fortran(
+            "REAL X(9)\nDO i = 0, 4\nDO j = 0, 9\nX(i) = j\nENDDO\nENDDO\n"
+        )
+        bounds = rectangular_bounds(normalize_program(p))
+        assert bounds["i"] == Poly.const(4)
+        assert bounds["j"] == Poly.const(9)
+
+    def test_triangular_maximized(self):
+        # Inner bound i+3 with i in [0,5] maximizes to 8.
+        p = parse_fortran(
+            "REAL X(9)\nDO i = 0, 5\nDO j = 0, i+3\nX(j) = 1\nENDDO\nENDDO\n"
+        )
+        bounds = rectangular_bounds(normalize_program(p))
+        assert bounds["j"] == Poly.const(8)
+
+    def test_decreasing_bound_maximized_at_zero(self):
+        p = parse_fortran(
+            "REAL X(9)\nDO i = 0, 5\nDO j = 0, 8-i\nX(j) = 1\nENDDO\nENDDO\n"
+        )
+        bounds = rectangular_bounds(normalize_program(p))
+        assert bounds["j"] == Poly.const(8)
+
+    def test_symbolic_bound(self):
+        p = parse_fortran("REAL X(9)\nDO i = 0, N-2\nX(i) = 1\nENDDO\n")
+        bounds = rectangular_bounds(normalize_program(p))
+        assert bounds["i"] == Poly.symbol("N") - 2
+
+    def test_non_affine_becomes_symbol(self):
+        p = parse_fortran("REAL X(9)\nDO i = 0, IFUN(1)\nX(i) = 1\nENDDO\n")
+        bounds = rectangular_bounds(normalize_program(p))
+        assert bounds["i"] == Poly.symbol("_ub_i")
+
+    def test_reused_variable_name_loosened(self):
+        p = parse_fortran(
+            "REAL X(9)\n"
+            "DO i = 0, 4\nX(i) = 1\nENDDO\n"
+            "DO i = 0, 7\nX(i) = 2\nENDDO\n"
+        )
+        bounds = rectangular_bounds(normalize_program(p))
+        assert bounds["i"] == Poly.const(7)

@@ -1,0 +1,114 @@
+"""Tests for dependence-problem construction from reference pairs."""
+
+import pytest
+
+from repro.analysis import (
+    build_pair_problem,
+    normalize_program,
+    rectangular_bounds,
+)
+from repro.core import delinearize
+from repro.deptests import Verdict, exhaustive_test
+from repro.frontend import parse_fortran
+from repro.ir import collect_refs
+
+
+def pair_of(source, array):
+    program = normalize_program(parse_fortran(source))
+    bounds = rectangular_bounds(program)
+    refs = collect_refs(program, array)
+    return build_pair_problem(refs[0], refs[1], bounds), refs
+
+
+class TestConstruction:
+    def test_intro_program(self):
+        pair, refs = pair_of(
+            """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+            """,
+            "C",
+        )
+        assert pair.common_levels == 2
+        assert pair.analyzable_dims == 1
+        assert pair.unknown_dims == 0
+        problem = pair.problem
+        assert problem is not None
+        assert exhaustive_test(problem) is Verdict.INDEPENDENT
+        assert delinearize(problem).verdict is Verdict.INDEPENDENT
+
+    def test_variable_renaming_keeps_sides_apart(self):
+        pair, _ = pair_of(
+            "REAL D(0:9)\nDO i = 0, 8\nD(i+1) = D(i)\nENDDO\n", "D"
+        )
+        assert set(pair.problem.variables) == {"i#1", "i#2"}
+        assert delinearize(pair.problem).verdict is Verdict.DEPENDENT
+
+    def test_multi_dim_system(self):
+        pair, _ = pair_of(
+            """
+            REAL A(100,100)
+            DO 1 i = 1, 10
+            DO 1 j = 1, 10
+            1 A(i, j) = A(i+1, j+2)
+            """,
+            "A",
+        )
+        assert pair.analyzable_dims == 2
+        assert len(pair.problem.equations) == 2
+
+    def test_non_affine_dim_skipped(self):
+        pair, _ = pair_of(
+            """
+            REAL A(100,100)
+            DO 1 i = 1, 10
+            1 A(i, IFUN(i)) = A(i+1, i)
+            """,
+            "A",
+        )
+        assert pair.analyzable_dims == 1
+        assert pair.unknown_dims == 1
+        assert not pair.fully_analyzable
+
+    def test_all_unknown_gives_none(self):
+        pair, _ = pair_of(
+            "REAL A(100)\nDO i = 1, 10\nA(IFUN(i)) = A(i)\nENDDO\n", "A"
+        )
+        assert pair.problem is None
+
+    def test_different_arrays_rejected(self):
+        program = normalize_program(
+            parse_fortran("REAL A(9), B(9)\nDO i = 0, 8\nA(i) = B(i)\nENDDO\n")
+        )
+        bounds = rectangular_bounds(program)
+        refs = collect_refs(program)
+        with pytest.raises(ValueError):
+            build_pair_problem(refs[0], refs[1], bounds)
+
+    def test_common_levels_across_statements(self):
+        program = normalize_program(
+            parse_fortran(
+                """
+                REAL Y(300)
+                DO 1 i = 0, 99
+                Y(i) = 1
+                DO 1 j = 0, 98
+                1 Y(i+j) = 2
+                """
+            )
+        )
+        bounds = rectangular_bounds(program)
+        refs = collect_refs(program, "Y")
+        pair = build_pair_problem(refs[0], refs[1], bounds)
+        # S1 sits one loop deep, S2 two: a single common level.
+        assert pair.common_levels == 1
+
+    def test_symbolic_bounds_flow_through(self):
+        pair, _ = pair_of(
+            "REAL A(100)\nDO i = 0, N-1\nA(i) = A(i+N)\nENDDO\n", "A"
+        )
+        problem = pair.problem
+        upper = problem.variables["i#1"].upper
+        assert str(upper) == "N - 1"

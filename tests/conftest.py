@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's dependence problems."""
+
+import pytest
+
+from repro.deptests import DependenceProblem
+
+
+@pytest.fixture
+def intro_equation():
+    """Paper equation (1): i1 + 10*j1 = i2 + 10*j2 + 5.
+
+    From C(i+10*j) = C(i+10*j+5) with i in [0,4], j in [0,9].
+    No integer solutions, but real ones exist.
+    """
+    return DependenceProblem.single(
+        {"i1": 1, "j1": 10, "i2": -1, "j2": -10},
+        -5,
+        {"i1": 4, "i2": 4, "j1": 9, "j2": 9},
+        pairs=[("i1", "i2"), ("j1", "j2")],
+    )
+
+
+@pytest.fixture
+def forward_shift():
+    """D(i+1) = D(i), i in [0,8]: dependent (loop-carried, distance 1)."""
+    return DependenceProblem.single(
+        {"i1": 1, "i2": -1},
+        1,
+        {"i1": 8, "i2": 8},
+        pairs=[("i1", "i2")],
+    )
+
+
+@pytest.fixture
+def out_of_reach_shift():
+    """D(i) = D(i+5), i in [0,4]: independent (shift exceeds the range)."""
+    return DependenceProblem.single(
+        {"i1": 1, "i2": -1},
+        -5,
+        {"i1": 4, "i2": 4},
+        pairs=[("i1", "i2")],
+    )
+
+
+@pytest.fixture
+def mhl91_example():
+    """A(10i+j) = A(10(i+2)+j): 10*i1 + j1 = 10*i2 + 20 + j2.
+
+    i in [1,8] -> normalized [0,7]; j in [1,10] -> normalized [0,9].
+    Dependent with exact distance (source read, sink write) of (2, 0).
+    """
+    return DependenceProblem.single(
+        {"i1": 10, "j1": 1, "i2": -10, "j2": -1},
+        -20,
+        {"i1": 7, "i2": 7, "j1": 9, "j2": 9},
+        pairs=[("i1", "i2"), ("j1", "j2")],
+    )

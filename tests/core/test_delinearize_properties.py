@@ -1,0 +1,132 @@
+"""Property-based tests: delinearization is sound and subsumes GCD+Banerjee.
+
+Every verdict is checked against exhaustive enumeration on random problems,
+including problems specifically shaped like linearized subscripts (the
+algorithm's target population).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import delinearize
+from repro.deptests import (
+    BoundedVar,
+    DependenceProblem,
+    Verdict,
+    exhaustive_direction_vectors,
+    exhaustive_test,
+    gcd_banerjee_test,
+)
+from repro.symbolic import LinExpr
+
+
+@st.composite
+def random_problems(draw):
+    """Arbitrary single-equation problems (not necessarily linearized)."""
+    count = draw(st.integers(1, 4))
+    names = [f"z{i}" for i in range(count)]
+    variables = [
+        BoundedVar.make(n, draw(st.integers(0, 8))) for n in names
+    ]
+    coeffs = {n: draw(st.integers(-20, 20)) for n in names}
+    constant = draw(st.integers(-40, 40))
+    return DependenceProblem([LinExpr(coeffs, constant)], variables)
+
+
+@st.composite
+def linearized_problems(draw):
+    """Problems shaped like linearized 2-D subscripts: a*(i1-i2)+b*(j1-j2)+c."""
+    stride = draw(st.integers(2, 12))
+    inner = draw(st.integers(1, min(stride - 1, 6)))
+    zi = stride - 1  # inner dimension exactly fills the stride
+    zj = draw(st.integers(1, 8))
+    constant = draw(st.integers(-(3 * stride), 3 * stride))
+    eq = LinExpr(
+        {
+            "i1": inner,
+            "i2": -inner,
+            "j1": stride,
+            "j2": -stride,
+        },
+        constant,
+    )
+    variables = [
+        BoundedVar.make("i1", zi, 1, 0),
+        BoundedVar.make("i2", zi, 1, 1),
+        BoundedVar.make("j1", zj, 2, 0),
+        BoundedVar.make("j2", zj, 2, 1),
+    ]
+    return DependenceProblem([eq], variables, common_levels=2)
+
+
+@given(random_problems())
+@settings(max_examples=200, deadline=None)
+def test_sound_on_random_problems(problem):
+    truth = exhaustive_test(problem)
+    verdict = delinearize(problem).verdict
+    if verdict is Verdict.INDEPENDENT:
+        assert truth is Verdict.INDEPENDENT
+    elif verdict is Verdict.DEPENDENT:
+        assert truth is Verdict.DEPENDENT
+
+
+@given(linearized_problems())
+@settings(max_examples=150, deadline=None)
+def test_sound_on_linearized_problems(problem):
+    truth = exhaustive_test(problem)
+    result = delinearize(problem)
+    if result.verdict is Verdict.INDEPENDENT:
+        assert truth is Verdict.INDEPENDENT
+    elif result.verdict is Verdict.DEPENDENT:
+        assert truth is Verdict.DEPENDENT
+
+
+@given(linearized_problems())
+@settings(max_examples=150, deadline=None)
+def test_direction_vectors_cover_truth(problem):
+    """Every realized direction must be contained in some reported vector."""
+    result = delinearize(problem)
+    realized = exhaustive_direction_vectors(problem)
+    if result.verdict is Verdict.INDEPENDENT:
+        assert not realized
+        return
+    for atomic in realized:
+        assert any(
+            vec.contains(atomic) for vec in result.direction_vectors
+        ), f"direction {atomic} not covered for {problem}"
+
+
+@given(linearized_problems())
+@settings(max_examples=100, deadline=None)
+def test_at_least_as_sharp_as_gcd_banerjee(problem):
+    """Paper Section 3: the on-the-fly test has GCD+Banerjee sharpness."""
+    if gcd_banerjee_test(problem) is Verdict.INDEPENDENT:
+        assert delinearize(problem).verdict is Verdict.INDEPENDENT
+
+
+@given(random_problems())
+@settings(max_examples=120, deadline=None)
+def test_unsorted_ablation_is_sound(problem):
+    truth = exhaustive_test(problem)
+    verdict = delinearize(problem, sort_coefficients=False).verdict
+    if verdict is Verdict.INDEPENDENT:
+        assert truth is Verdict.INDEPENDENT
+    elif verdict is Verdict.DEPENDENT:
+        assert truth is Verdict.DEPENDENT
+
+
+@given(linearized_problems())
+@settings(max_examples=100, deadline=None)
+def test_exact_distances_are_real(problem):
+    """A pinned distance must hold in every solution."""
+    result = delinearize(problem)
+    if result.verdict is Verdict.INDEPENDENT or not result.distances:
+        return
+    pairs = problem.level_pairs()
+    for solution in problem.enumerate_solutions():
+        for level, distance in result.distances.items():
+            alpha, beta = pairs[level - 1]
+            assert (
+                solution[beta.name] - solution[alpha.name]
+                == distance.as_int()
+            )

@@ -1,0 +1,73 @@
+"""Differential testing: delinearization vs the Omega test.
+
+Omega is exact on concrete problems, so on populations too large for
+exhaustive enumeration it serves as the oracle: any definite verdict from
+delinearization must agree with Omega's definite verdict.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import delinearize
+from repro.deptests import BoundedVar, DependenceProblem, Verdict, omega_test
+from repro.symbolic import LinExpr
+
+
+@st.composite
+def wide_linearized_problems(draw):
+    """Linearized problems with larger bounds than enumeration could take."""
+    levels = draw(st.integers(1, 3))
+    stride = 1
+    coeffs = {}
+    bounds = {}
+    pairs = []
+    constant = 0
+    for level in range(1, levels + 1):
+        extent = draw(st.integers(3, 40))
+        slack = draw(st.integers(extent - 1, extent + 10))
+        a, b = f"x{level}", f"y{level}"
+        coeffs[a] = stride
+        coeffs[b] = -stride
+        bounds[a] = bounds[b] = extent - 1
+        pairs.append((a, b))
+        constant += stride * draw(st.integers(0, extent + slack - 1))
+        stride *= extent + slack
+    return DependenceProblem.single(coeffs, -constant, bounds, pairs=pairs)
+
+
+@given(wide_linearized_problems())
+@settings(max_examples=120, deadline=None)
+def test_delinearization_agrees_with_omega(problem):
+    omega = omega_test(problem, work_limit=300_000)
+    delin = delinearize(problem).verdict
+    if Verdict.MAYBE in (omega, delin):
+        return
+    assert delin is omega, f"disagreement on {problem}"
+
+
+@given(wide_linearized_problems())
+@settings(max_examples=80, deadline=None)
+def test_delinearization_decides_wide_chains(problem):
+    """On slack-stride chains the algorithm should always decide."""
+    assert delinearize(problem).verdict is not Verdict.MAYBE
+
+
+@given(
+    st.integers(2, 1000),
+    st.integers(0, 3000),
+    st.integers(1, 999),
+)
+@settings(max_examples=100, deadline=None)
+def test_two_var_agreement(extent, constant, coeff):
+    problem = DependenceProblem(
+        [LinExpr({"a": coeff, "b": -coeff}, -constant)],
+        [
+            BoundedVar.make("a", extent - 1, 1, 0),
+            BoundedVar.make("b", extent - 1, 1, 1),
+        ],
+        common_levels=1,
+    )
+    omega = omega_test(problem)
+    delin = delinearize(problem).verdict
+    assert omega is not Verdict.MAYBE
+    assert delin is omega

@@ -1,0 +1,77 @@
+"""Differential tests: the integer fast path mirrors the generic scan."""
+
+import time
+
+from hypothesis import given, settings
+
+from repro.core import delinearize
+
+from .test_delinearize_properties import linearized_problems, random_problems
+
+
+def outcome(result):
+    return (
+        result.verdict,
+        tuple(sorted(str(g.equation) for g in result.groups)),
+        frozenset(result.direction_vectors),
+        tuple(sorted((k, str(v)) for k, v in result.distances.items())),
+        result.dimensions_found,
+    )
+
+
+@given(random_problems())
+@settings(max_examples=150, deadline=None)
+def test_fast_path_matches_generic(problem):
+    fast = delinearize(problem, use_fast_path=True)
+    generic = delinearize(problem, use_fast_path=False)
+    assert outcome(fast) == outcome(generic)
+
+
+@given(linearized_problems())
+@settings(max_examples=120, deadline=None)
+def test_fast_path_matches_generic_on_linearized(problem):
+    fast = delinearize(problem, use_fast_path=True)
+    generic = delinearize(problem, use_fast_path=False)
+    assert outcome(fast) == outcome(generic)
+
+
+@given(random_problems())
+@settings(max_examples=60, deadline=None)
+def test_fast_path_traces_match(problem):
+    fast = delinearize(problem, keep_trace=True, use_fast_path=True)
+    generic = delinearize(problem, keep_trace=True, use_fast_path=False)
+    assert fast.format_trace() == generic.format_trace()
+
+
+@given(random_problems())
+@settings(max_examples=60, deadline=None)
+def test_unsorted_ablation_matches_too(problem):
+    fast = delinearize(problem, sort_coefficients=False, use_fast_path=True)
+    generic = delinearize(
+        problem, sort_coefficients=False, use_fast_path=False
+    )
+    assert outcome(fast) == outcome(generic)
+
+
+def test_fast_path_is_faster_on_wide_chains():
+    import sys
+
+    sys.path.insert(0, ".")
+    from benchmarks.workloads import linearized_chain
+
+    problem = linearized_chain(16, seed=16)
+    reps = 5
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        delinearize(problem, use_fast_path=True)
+    fast = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        delinearize(problem, use_fast_path=False)
+    generic = time.perf_counter() - start
+
+    # The scan itself must not be slower; group solving dominates both and
+    # timing noise is real, so only insist on a loose margin.
+    assert fast <= generic * 1.5

@@ -1,0 +1,155 @@
+"""Unit tests for the per-dimension group solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve_group
+from repro.deptests import BoundedVar, DependenceProblem, Verdict
+from repro.dirvec import DirVec
+from repro.symbolic import Assumptions, LinExpr, Poly
+
+N = Poly.symbol("N")
+
+
+def pair_problem(upper=9, const=0, coeff=1):
+    eq = LinExpr({"a": coeff, "b": -coeff}, const)
+    return (
+        eq,
+        DependenceProblem(
+            [eq],
+            [
+                BoundedVar.make("a", upper, 1, 0),
+                BoundedVar.make("b", upper, 1, 1),
+            ],
+            common_levels=1,
+        ),
+    )
+
+
+class TestConstantGroups:
+    def test_zero_constant_dependent(self):
+        eq = LinExpr({}, 0)
+        problem = DependenceProblem([eq], [], common_levels=0)
+        solution = solve_group(eq, problem)
+        assert solution.verdict is Verdict.DEPENDENT
+
+    def test_nonzero_constant_independent(self):
+        eq = LinExpr({}, 7)
+        problem = DependenceProblem([eq], [], common_levels=0)
+        assert solve_group(eq, problem).verdict is Verdict.INDEPENDENT
+
+    def test_symbolic_constant_unknown_sign(self):
+        eq = LinExpr({}, N - 5)
+        problem = DependenceProblem(
+            [eq], [], common_levels=0, assumptions=Assumptions({"N": 1})
+        )
+        assert solve_group(eq, problem).verdict is Verdict.MAYBE
+
+
+class TestPairForm:
+    def test_exact_distance(self):
+        eq, problem = pair_problem(const=3, coeff=2)  # 2a - 2b + 3: indivisible
+        assert solve_group(eq, problem).verdict is Verdict.INDEPENDENT
+
+    def test_divisible_distance(self):
+        eq, problem = pair_problem(const=4, coeff=2)  # b - a = 2
+        solution = solve_group(eq, problem)
+        assert solution.verdict is Verdict.DEPENDENT
+        assert solution.distances[1].as_int() == 2
+        assert solution.dirvecs == {DirVec.parse("(<)")}
+
+    def test_out_of_range_distance(self):
+        eq, problem = pair_problem(upper=3, const=7)
+        assert solve_group(eq, problem).verdict is Verdict.INDEPENDENT
+
+    def test_symbolic_pair(self):
+        eq = LinExpr({"a": N, "b": -N}, -N)
+        problem = DependenceProblem(
+            [eq],
+            [
+                BoundedVar.make("a", N - 1, 1, 0),
+                BoundedVar.make("b", N - 1, 1, 1),
+            ],
+            common_levels=1,
+            assumptions=Assumptions({"N": 2}),
+        )
+        solution = solve_group(eq, problem)
+        assert solution.verdict is Verdict.DEPENDENT
+        assert solution.distances[1] == Poly.const(-1)
+        assert solution.dirvecs == {DirVec.parse("(>)")}
+
+
+class TestSingleVariable:
+    def test_pinned_in_range(self):
+        eq = LinExpr({"z": 2}, -6)
+        problem = DependenceProblem(
+            [eq], [BoundedVar.make("z", 9)], common_levels=0
+        )
+        assert solve_group(eq, problem).verdict is Verdict.DEPENDENT
+
+    def test_pinned_out_of_range(self):
+        eq = LinExpr({"z": 2}, -60)
+        problem = DependenceProblem(
+            [eq], [BoundedVar.make("z", 9)], common_levels=0
+        )
+        assert solve_group(eq, problem).verdict is Verdict.INDEPENDENT
+
+    def test_indivisible(self):
+        eq = LinExpr({"z": 2}, -7)
+        problem = DependenceProblem(
+            [eq], [BoundedVar.make("z", 9)], common_levels=0
+        )
+        assert solve_group(eq, problem).verdict is Verdict.INDEPENDENT
+
+
+class TestUniformMagnitude:
+    def test_symbolic_unit_equation(self):
+        # j1 - i2 - 1 = 0 scaled by N: dependent for N >= 2.
+        eq = LinExpr({"j": N, "i": -N}, -N)
+        problem = DependenceProblem(
+            [eq],
+            [
+                BoundedVar.make("j", N - 1, 1, 0),
+                BoundedVar.make("i", N - 2, 2, 1),
+            ],
+            common_levels=2,
+            assumptions=Assumptions({"N": 2}),
+        )
+        solution = solve_group(eq, problem)
+        assert solution.verdict is Verdict.DEPENDENT
+
+    def test_symbolic_out_of_range(self):
+        eq = LinExpr({"j": N, "i": -N}, -3 * N)
+        problem = DependenceProblem(
+            [eq],
+            [
+                BoundedVar.make("j", N - 1, 1, 0),
+                BoundedVar.make("i", N - 1, 2, 1),
+            ],
+            common_levels=2,
+            assumptions=Assumptions({"N": 2}),
+        )
+        # j - i = 3N... wait: j - i - 3 = 0 after dividing; range of
+        # j - i - 3 is [-(N-1)-3, (N-1)-3]; for N >= 2 zero may or may not
+        # be inside, so only N >= 4 decides dependence.
+        solution = solve_group(eq, problem)
+        assert solution.verdict in (Verdict.MAYBE, Verdict.DEPENDENT)
+
+
+@given(
+    st.integers(0, 8),
+    st.integers(-12, 12),
+    st.integers(1, 4),
+)
+@settings(max_examples=120, deadline=None)
+def test_pair_form_matches_enumeration(upper, const, coeff):
+    eq, problem = pair_problem(upper=upper, const=const, coeff=coeff)
+    solution = solve_group(eq, problem)
+    solutions = list(problem.enumerate_solutions())
+    if solution.verdict is Verdict.DEPENDENT:
+        assert solutions
+    elif solution.verdict is Verdict.INDEPENDENT:
+        assert not solutions
+    if solutions and solution.distances:
+        expected = {s["b"] - s["a"] for s in solutions}
+        assert expected == {solution.distances[1].as_int()}

@@ -1,0 +1,100 @@
+"""Tests for the delinearization theorem checker (paper, Section 3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import condition_holds, make_candidate, split_equation
+from repro.symbolic import Assumptions, LinExpr, Poly
+
+
+def bounds_of(**kwargs):
+    return {name: Poly.coerce(v) for name, v in kwargs.items()}
+
+
+class TestIntroExample:
+    """The paper's running split: A = 10j1 - 10j2, B = i1 - i2 - 5."""
+
+    EQ = LinExpr({"i1": 1, "i2": -1, "j1": 10, "j2": -10}, -5)
+    BOUNDS = bounds_of(i1=4, i2=4, j1=9, j2=9)
+
+    def test_condition_holds_for_paper_split(self):
+        # Head {i1, i2} with d0 = -5; tail {j1, j2} with D0 = 0.
+        # |B| <= 9 < 10 = gcd(0, 10, 10).
+        candidate = make_candidate(self.EQ, self.BOUNDS, ["i1", "i2"], -5)
+        assert condition_holds(candidate)
+
+    def test_condition_fails_for_wrong_split(self):
+        # Head {j1, j2}: the head sum ranges over +/-90, tail gcd is 1.
+        candidate = make_candidate(self.EQ, self.BOUNDS, ["j1", "j2"], -5)
+        assert not condition_holds(candidate)
+
+    def test_condition_fails_for_mixed_groups(self):
+        candidate = make_candidate(self.EQ, self.BOUNDS, ["i1", "j1"], -5)
+        assert not condition_holds(candidate)
+
+    def test_split_equation_parts(self):
+        head, tail = split_equation(self.EQ, ["i1", "i2"], -5)
+        assert head == LinExpr({"i1": 1, "i2": -1}, -5)
+        assert tail == LinExpr({"j1": 10, "j2": -10}, 0)
+
+
+class TestSymbolicCondition:
+    def test_symbolic_split(self):
+        n = Poly.symbol("N")
+        eq = LinExpr({"i1": 1, "i2": -1, "j1": n, "j2": -n}, 0)
+        bounds = {
+            "i1": n - 1,
+            "i2": n - 1,
+            "j1": n - 1,
+            "j2": n - 1,
+        }
+        bounds = {k: Poly.coerce(v) for k, v in bounds.items()}
+        candidate = make_candidate(eq, bounds, ["i1", "i2"], 0)
+        # |i1 - i2| <= N-1 < N: provable with N >= 1.
+        assert condition_holds(candidate, Assumptions({"N": 1}))
+        # Without assumptions nothing is provable.
+        assert not condition_holds(candidate, Assumptions.empty())
+
+
+class TestCartesianProduct:
+    """The theorem's conclusion, checked by enumeration."""
+
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 9),
+        st.integers(-15, 15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_preserves_solutions(self, zi, zj, c0):
+        eq = LinExpr({"i1": 1, "i2": -1, "j1": 10, "j2": -10}, c0)
+        bounds = bounds_of(i1=zi, i2=zi, j1=zj, j2=zj)
+        d0 = c0 - (c0 // 10) * 10  # canonical remainder decomposition
+        for candidate_d0 in (d0, d0 - 10):
+            candidate = make_candidate(
+                eq, bounds, ["i1", "i2"], candidate_d0
+            )
+            if not condition_holds(candidate):
+                continue
+            head, tail = split_equation(eq, ["i1", "i2"], candidate_d0)
+            full = _solutions(eq, bounds)
+            head_solutions = _solutions(head, bounds, ["i1", "i2"])
+            tail_solutions = _solutions(tail, bounds, ["j1", "j2"])
+            product = {
+                tuple(sorted({**h, **t}.items()))
+                for h in head_solutions
+                for t in tail_solutions
+            }
+            assert {tuple(sorted(s.items())) for s in full} == product
+
+
+def _solutions(eq, bounds, names=None):
+    names = names or sorted(bounds)
+    from itertools import product as iproduct
+
+    out = []
+    ranges = [range(bounds[n].as_int() + 1) for n in names]
+    for point in iproduct(*ranges):
+        assignment = dict(zip(names, point))
+        if eq.evaluate(assignment) == 0:
+            out.append(assignment)
+    return out

@@ -1,0 +1,87 @@
+"""Tests for the synthetic RiCEPS corpus and the census detector."""
+
+import pytest
+
+from repro.corpus import (
+    RICEPS_PROFILES,
+    STYLES,
+    census_source,
+    generate_program,
+    generate_riceps_program,
+    profile,
+)
+from repro.frontend import parse_fortran
+
+
+class TestProfiles:
+    def test_eight_programs(self):
+        assert len(RICEPS_PROFILES) == 8
+        assert [p.name for p in RICEPS_PROFILES] == [
+            "BOAST",
+            "CCM",
+            "LINPACKD",
+            "QCD",
+            "SIMPLE",
+            "SPHOT",
+            "TRACK",
+            "WANAL1",
+        ]
+
+    def test_paper_row_values(self):
+        boast = profile("BOAST")
+        assert boast.lines == 7000
+        assert boast.reported == ">28"
+        assert boast.linearized_nests == 29
+        assert profile("LINPACKD").linearized_nests == 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile("SPEC2017")
+
+    def test_seeds_are_distinct(self):
+        seeds = {p.seed() for p in RICEPS_PROFILES}
+        assert len(seeds) == 8
+
+
+class TestGenerator:
+    def test_generated_source_parses(self):
+        gen = generate_program("X", lines=60, linearized_nests=4, seed=1)
+        program = parse_fortran(gen.source)
+        assert program.assignments()
+
+    def test_census_recovers_planted_count(self):
+        for count in (0, 1, 4, 9):
+            gen = generate_program(
+                "X", lines=40, linearized_nests=count, seed=count
+            )
+            result = census_source(gen.source)
+            assert result.linearized_nests == count, gen.source
+
+    def test_each_style_alone_is_detected(self):
+        for style in STYLES:
+            gen = generate_program(
+                "X", lines=1, linearized_nests=1, seed=7, styles=(style,)
+            )
+            result = census_source(gen.source)
+            assert result.linearized_nests == 1, f"style {style}: {gen.source}"
+
+    def test_plain_nests_never_counted(self):
+        gen = generate_program("X", lines=120, linearized_nests=0, seed=3)
+        assert census_source(gen.source).linearized_nests == 0
+
+    def test_determinism(self):
+        a = generate_program("X", lines=50, linearized_nests=3, seed=42)
+        b = generate_program("X", lines=50, linearized_nests=3, seed=42)
+        assert a.source == b.source
+
+    def test_line_scaling(self):
+        gen = generate_program("X", lines=300, linearized_nests=0, seed=5)
+        assert gen.line_count >= 300
+
+
+class TestRicepsReproduction:
+    @pytest.mark.parametrize("prof", RICEPS_PROFILES, ids=lambda p: p.name)
+    def test_census_matches_figure1(self, prof):
+        gen = generate_riceps_program(prof, scale=0.05)
+        result = census_source(gen.source, prof.name)
+        assert result.linearized_nests == prof.linearized_nests

@@ -1,0 +1,200 @@
+"""Tests for dependence graph construction (incl. the Figure 3 program)."""
+
+from repro.depgraph import analyze_dependences
+from repro.frontend import parse_fortran
+
+FIGURE3 = """
+REAL X(200), Y(200), B(100)
+REAL A(100,100), C(100,100)
+DO 30 i = 1, 100
+X(i) = Y(i) + 10
+DO 20 j = 1, 99
+B(j) = A(j,20)
+DO 10 k = 1, 100
+A(j+1,k) = B(j) + C(j,k)
+10 CONTINUE
+Y(i+j) = A(j+1,20)
+20 CONTINUE
+30 CONTINUE
+"""
+
+
+class TestFigure3:
+    def edges(self):
+        return analyze_dependences(parse_fortran(FIGURE3))
+
+    def test_y_flow_dependence(self):
+        # Paper: S4:Y -> S1:Y with direction (<).
+        graph = self.edges()
+        edges = graph.between("S4", "S1")
+        assert len(edges) == 1
+        edge = edges[0]
+        assert edge.kind == "flow"
+        assert str(edge.direction) == "(<)"
+
+    def test_no_spurious_reverse_y_edge(self):
+        graph = self.edges()
+        assert graph.between("S1", "S4") == []
+
+    def test_b_output_self_dependence(self):
+        # Paper: S2:B -> S2:B direction (*, =), distance (*, 0); reoriented
+        # to source-first our vector is (<, =) with distance (<, 0).
+        graph = self.edges()
+        edges = [
+            e for e in graph.between("S2", "S2") if e.source.ref.array == "B"
+        ]
+        assert len(edges) == 1
+        assert edges[0].kind == "output"
+        assert str(edges[0].direction) == "(<, =)"
+        assert str(edges[0].distance) == "(<, 0)"
+
+    def test_b_flow_dependence(self):
+        graph = self.edges()
+        edges = [
+            e for e in graph.between("S2", "S3") if e.source.ref.array == "B"
+        ]
+        assert len(edges) == 1
+        assert edges[0].kind == "flow"
+        assert str(edges[0].direction) == "(<=, =)"
+
+    def test_a_self_output(self):
+        # Paper: S3:A -> S3:A direction (*, =, =).
+        graph = self.edges()
+        edges = graph.between("S3", "S3")
+        assert len(edges) == 1
+        assert edges[0].kind == "output"
+        assert str(edges[0].direction) == "(<, =, =)"
+        assert str(edges[0].distance) == "(<, 0, 0)"
+
+    def test_a_flow_with_distance_one(self):
+        # Paper: S3:A -> S2:A direction (*, <), distance-direction (*, +1).
+        graph = self.edges()
+        edges = [
+            e for e in graph.between("S3", "S2") if e.source.ref.array == "A"
+        ]
+        assert len(edges) == 1
+        assert edges[0].kind == "flow"
+        assert str(edges[0].direction) == "(<=, <)"
+        assert str(edges[0].distance) == "(<=, +1)"
+
+    def test_a_s3_to_s4_flow(self):
+        # Paper: S3:A -> S4:A direction (*, =).
+        graph = self.edges()
+        edges = graph.between("S3", "S4")
+        assert len(edges) == 1
+        assert edges[0].kind == "flow"
+        assert str(edges[0].direction) == "(<=, =)"
+
+    def test_no_c_or_x_dependences(self):
+        graph = self.edges()
+        arrays = {e.source.ref.array for e in graph.edges}
+        assert "C" not in arrays  # read-only array
+        assert "X" not in arrays  # each X(i) written once
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        graph = analyze_dependences(parse_fortran(FIGURE3))
+        dot = graph.to_dot()
+        assert dot.startswith("digraph dependences {")
+        assert dot.rstrip().endswith("}")
+        assert 'S3 [shape=box, label="S3:' in dot
+        assert "S4 -> S1" in dot
+        assert "style=dashed" in dot  # anti edges present
+
+    def test_dot_edge_count(self):
+        graph = analyze_dependences(parse_fortran(FIGURE3))
+        dot = graph.to_dot()
+        assert dot.count(" -> ") == len(graph.edges)
+
+
+class TestBasics:
+    def test_independent_program_has_no_edges(self):
+        src = """
+            REAL D(0:9)
+            DO i = 0, 4
+              D(i) = D(i+5) * 2
+            ENDDO
+        """
+        graph = analyze_dependences(parse_fortran(src))
+        assert graph.edges == []
+
+    def test_linearized_independence_detected(self):
+        src = """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+        """
+        graph = analyze_dependences(parse_fortran(src))
+        assert graph.edges == []
+
+    def test_forward_flow_dependence(self):
+        src = "REAL D(0:9)\nDO i = 0, 8\nD(i+1) = D(i) * 2\nENDDO\n"
+        graph = analyze_dependences(parse_fortran(src))
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert edge.kind == "flow"
+        assert str(edge.direction) == "(<)"
+        assert str(edge.distance) == "(+1)"
+
+    def test_loop_independent_dependence(self):
+        src = "REAL D(0:9), E(0:9)\nDO i = 0, 8\nD(i) = 1\nE(i) = D(i)\nENDDO\n"
+        graph = analyze_dependences(parse_fortran(src))
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert edge.direction.is_all_equal()
+        assert edge.kind == "flow"
+        assert graph.loop_independent() == [edge]
+
+    def test_anti_dependence_orientation(self):
+        # D(i) read at i, written at i+1: read instance precedes the write.
+        src = "REAL D(0:9)\nDO i = 0, 8\nD(i) = D(i+1)\nENDDO\n"
+        graph = analyze_dependences(parse_fortran(src))
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert edge.kind == "anti"
+        assert edge.source.stmt.label == edge.sink.stmt.label == "S1"
+        assert str(edge.direction) == "(<)"
+
+    def test_carried_by_level(self):
+        src = """
+            REAL A(100,100)
+            DO 1 i = 1, 10
+            DO 1 j = 1, 10
+            1 A(i, j) = A(i, j+1)
+        """
+        graph = analyze_dependences(parse_fortran(src))
+        assert len(graph.edges) == 1
+        assert graph.carried_by_level(2) == graph.edges
+        assert graph.carried_by_level(1) == []
+
+    def test_non_affine_gives_assumed_edges(self):
+        src = "REAL A(0:9)\nDO i = 0, 8\nA(IFUN(i)) = A(i)\nENDDO\n"
+        graph = analyze_dependences(parse_fortran(src))
+        assert graph.edges
+        assert all(e.assumed for e in graph.edges)
+
+    def test_input_dependences_excluded_by_default(self):
+        src = "REAL D(0:9), E(0:9), F(0:9)\nDO i = 0, 8\nE(i) = D(i)\nF(i) = D(i)\nENDDO\n"
+        graph = analyze_dependences(parse_fortran(src))
+        assert graph.edges == []
+        with_input = analyze_dependences(
+            parse_fortran(src), include_input=True
+        )
+        assert any(e.kind == "input" for e in with_input.edges)
+
+    def test_mhl91_distance(self):
+        src = """
+            REAL A(200)
+            DO 10 i = 1, 8
+            DO 10 j = 1, 10
+            10 A(10*i+j) = A(10*(i+2)+j) + 7
+        """
+        graph = analyze_dependences(parse_fortran(src))
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        # The read at iteration i touches the location written at i+2:
+        # an anti dependence with exact distance (2, 0), paper Section 1.
+        assert edge.kind == "anti"
+        assert str(edge.distance) == "(+2, 0)"

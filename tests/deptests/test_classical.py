@@ -1,0 +1,237 @@
+"""Unit tests for the classical tests on the paper's worked examples."""
+
+from repro.deptests import (
+    DependenceProblem,
+    Verdict,
+    acyclic_test,
+    banerjee_test,
+    exhaustive_test,
+    fourier_motzkin_test,
+    gcd_banerjee_test,
+    gcd_test,
+    run_all,
+    shostak_test,
+    simple_loop_residue_test,
+    svpc_test,
+)
+from repro.symbolic import Assumptions, LinExpr, Poly
+from repro.deptests import BoundedVar
+
+
+class TestIntroEquation:
+    """The paper's central claim: existing tests fail on equation (1)."""
+
+    def test_ground_truth_independent(self, intro_equation):
+        assert exhaustive_test(intro_equation) is Verdict.INDEPENDENT
+
+    def test_gcd_cannot_disprove(self, intro_equation):
+        # gcd(1, 10, 1, 10) = 1 divides 5.
+        assert gcd_test(intro_equation) is Verdict.MAYBE
+
+    def test_banerjee_cannot_disprove(self, intro_equation):
+        # Real solutions exist (i1=i2=2, j1=4.5, j2=4).
+        assert banerjee_test(intro_equation) is Verdict.MAYBE
+
+    def test_svpc_cannot_disprove(self, intro_equation):
+        assert svpc_test(intro_equation) is Verdict.MAYBE
+
+    def test_acyclic_cannot_disprove(self, intro_equation):
+        assert acyclic_test(intro_equation) is Verdict.MAYBE
+
+    def test_simple_loop_residue_cannot_disprove(self, intro_equation):
+        assert simple_loop_residue_test(intro_equation) is Verdict.MAYBE
+
+    def test_shostak_cannot_disprove(self, intro_equation):
+        assert shostak_test(intro_equation) is Verdict.MAYBE
+
+    def test_real_fm_cannot_disprove(self, intro_equation):
+        assert (
+            fourier_motzkin_test(intro_equation, tighten=False)
+            is Verdict.MAYBE
+        )
+
+    def test_tightened_fm_disproves(self, intro_equation):
+        # The paper: "normalization of constraints [Pug91] together with
+        # Fourier-Motzkin elimination returns independent".
+        assert (
+            fourier_motzkin_test(intro_equation, tighten=True)
+            is Verdict.INDEPENDENT
+        )
+
+    def test_run_all_summary(self, intro_equation):
+        results = run_all(intro_equation, include_exhaustive=True)
+        proving = {n for n, v in results.items() if v is Verdict.INDEPENDENT}
+        assert proving == {
+            "Fourier-Motzkin + tightening",
+            "Exhaustive (ground truth)",
+        }
+
+
+class TestSimpleShifts:
+    def test_forward_shift_dependent(self, forward_shift):
+        assert exhaustive_test(forward_shift) is Verdict.DEPENDENT
+        assert simple_loop_residue_test(forward_shift) is Verdict.DEPENDENT
+        assert banerjee_test(forward_shift) is Verdict.MAYBE
+
+    def test_out_of_reach_independent(self, out_of_reach_shift):
+        assert exhaustive_test(out_of_reach_shift) is Verdict.INDEPENDENT
+        assert banerjee_test(out_of_reach_shift) is Verdict.INDEPENDENT
+        assert simple_loop_residue_test(out_of_reach_shift) is Verdict.INDEPENDENT
+        assert (
+            fourier_motzkin_test(out_of_reach_shift) is Verdict.INDEPENDENT
+        )
+
+    def test_mhl91_dependent(self, mhl91_example):
+        assert exhaustive_test(mhl91_example) is Verdict.DEPENDENT
+
+
+class TestGcd:
+    def test_gcd_disproves_parity(self):
+        # 2*z1 - 2*z2 = 1 has no integer solutions.
+        p = DependenceProblem.single(
+            {"z1": 2, "z2": -2}, -1, {"z1": 9, "z2": 9}
+        )
+        assert gcd_test(p) is Verdict.INDEPENDENT
+        assert exhaustive_test(p) is Verdict.INDEPENDENT
+
+    def test_no_variables_nonzero_constant(self):
+        p = DependenceProblem.single({}, 3, {})
+        assert gcd_test(p) is Verdict.INDEPENDENT
+
+    def test_no_variables_zero_constant(self):
+        p = DependenceProblem.single({}, 0, {})
+        assert gcd_test(p) is Verdict.MAYBE
+
+
+class TestBanerjee:
+    def test_symbolic_banerjee_with_assumptions(self):
+        # z1 - z2 - N = 0 with z in [0, N-1]: LHS range [-(N-1)-N, N-1-N],
+        # upper bound -1 < 0, so independent for any N >= 1.
+        n = Poly.symbol("N")
+        expr = LinExpr({"z1": 1, "z2": -1}, -n)
+        problem = DependenceProblem(
+            [expr],
+            [BoundedVar.make("z1", n - 1), BoundedVar.make("z2", n - 1)],
+            assumptions=Assumptions({"N": 1}),
+        )
+        assert banerjee_test(problem) is Verdict.INDEPENDENT
+
+    def test_symbolic_without_assumptions_is_maybe(self):
+        n = Poly.symbol("N")
+        expr = LinExpr({"z1": 1, "z2": -1}, -n)
+        problem = DependenceProblem(
+            [expr],
+            [BoundedVar.make("z1", n - 1), BoundedVar.make("z2", n - 1)],
+        )
+        assert banerjee_test(problem) is Verdict.MAYBE
+
+    def test_combined_gcd_banerjee(self):
+        # GCD catches parity, Banerjee catches range; combined catches both.
+        parity = DependenceProblem.single(
+            {"z1": 2, "z2": -2}, -1, {"z1": 9, "z2": 9}
+        )
+        out_of_range = DependenceProblem.single(
+            {"z1": 1, "z2": -1}, -5, {"z1": 4, "z2": 4}
+        )
+        assert gcd_banerjee_test(parity) is Verdict.INDEPENDENT
+        assert gcd_banerjee_test(out_of_range) is Verdict.INDEPENDENT
+
+
+class TestSvpc:
+    def test_exact_dependent(self):
+        p = DependenceProblem.single({"z": 2}, -6, {"z": 9})
+        assert svpc_test(p) is Verdict.DEPENDENT
+
+    def test_non_divisible(self):
+        p = DependenceProblem.single({"z": 2}, -5, {"z": 9})
+        assert svpc_test(p) is Verdict.INDEPENDENT
+
+    def test_out_of_range(self):
+        p = DependenceProblem.single({"z": 1}, -15, {"z": 9})
+        assert svpc_test(p) is Verdict.INDEPENDENT
+
+    def test_conflicting_equations(self):
+        e1 = LinExpr({"z": 1}, -3)
+        e2 = LinExpr({"z": 1}, -4)
+        p = DependenceProblem(
+            [e1, e2], [BoundedVar.make("z", 9)]
+        )
+        assert svpc_test(p) is Verdict.INDEPENDENT
+
+
+class TestAcyclic:
+    def test_pins_and_verifies(self):
+        # z1 = 3 and z1 - z2 = 1 pins everything.
+        e1 = LinExpr({"z1": 1}, -3)
+        e2 = LinExpr({"z1": 1, "z2": -1}, -1)
+        p = DependenceProblem(
+            [e1, e2], [BoundedVar.make("z1", 9), BoundedVar.make("z2", 9)]
+        )
+        assert acyclic_test(p) is Verdict.DEPENDENT
+
+    def test_congruence_propagation(self):
+        # 3*z1 - 6*z2 = 1: gcd reasoning through propagation.
+        p = DependenceProblem.single(
+            {"z1": 3, "z2": -6}, -1, {"z1": 9, "z2": 9}
+        )
+        assert acyclic_test(p) is Verdict.INDEPENDENT
+
+    def test_interval_infeasible(self):
+        p = DependenceProblem.single({"z1": 1}, -100, {"z1": 9})
+        assert acyclic_test(p) is Verdict.INDEPENDENT
+
+
+class TestLoopResidue:
+    def test_difference_chain_infeasible(self):
+        # z1 - z2 = 3, z2 - z3 = 3, z1 - z3 = 5: inconsistent.
+        eqs = [
+            LinExpr({"z1": 1, "z2": -1}, -3),
+            LinExpr({"z2": 1, "z3": -1}, -3),
+            LinExpr({"z1": 1, "z3": -1}, -5),
+        ]
+        p = DependenceProblem(
+            eqs,
+            [BoundedVar.make(n, 9) for n in ("z1", "z2", "z3")],
+        )
+        assert simple_loop_residue_test(p) is Verdict.INDEPENDENT
+
+    def test_difference_chain_feasible(self):
+        eqs = [
+            LinExpr({"z1": 1, "z2": -1}, -3),
+            LinExpr({"z2": 1, "z3": -1}, -3),
+        ]
+        p = DependenceProblem(
+            eqs,
+            [BoundedVar.make(n, 9) for n in ("z1", "z2", "z3")],
+        )
+        assert simple_loop_residue_test(p) is Verdict.DEPENDENT
+
+    def test_bound_violation_detected(self):
+        p = DependenceProblem.single(
+            {"z1": 1, "z2": -1}, -12, {"z1": 9, "z2": 9}
+        )
+        assert simple_loop_residue_test(p) is Verdict.INDEPENDENT
+
+    def test_shostak_real_contradiction(self):
+        # z1 - z2 = 5 with both in [0, 4] is real-infeasible.
+        p = DependenceProblem.single(
+            {"z1": 1, "z2": -1}, -5, {"z1": 4, "z2": 4}
+        )
+        assert shostak_test(p) is Verdict.INDEPENDENT
+
+
+class TestFourierMotzkin:
+    def test_real_feasible_integer_infeasible(self, intro_equation):
+        assert fourier_motzkin_test(intro_equation) is Verdict.MAYBE
+
+    def test_infeasible_system(self):
+        p = DependenceProblem.single(
+            {"z1": 1, "z2": 1}, -100, {"z1": 4, "z2": 4}
+        )
+        assert fourier_motzkin_test(p) is Verdict.INDEPENDENT
+
+    def test_symbolic_is_maybe(self):
+        n = Poly.symbol("N")
+        expr = LinExpr({"z1": 1}, -n)
+        p = DependenceProblem([expr], [BoundedVar.make("z1", n)])
+        assert fourier_motzkin_test(p) is Verdict.MAYBE

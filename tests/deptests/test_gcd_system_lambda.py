@@ -1,0 +1,140 @@
+"""Tests for the generalized GCD system test and the lambda test."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deptests import (
+    BoundedVar,
+    DependenceProblem,
+    Verdict,
+    diophantine_solvable,
+    generalized_gcd_test,
+    lambda_combinations,
+    lambda_test,
+)
+from repro.symbolic import LinExpr
+
+
+class TestDiophantine:
+    def test_single_equation(self):
+        assert diophantine_solvable([[2, 4]], [6])
+        assert not diophantine_solvable([[2, 4]], [7])
+
+    def test_system_coupling(self):
+        # x + y = 3, x - y = 0 -> x = y = 1.5: no integer solution.
+        assert not diophantine_solvable([[1, 1], [1, -1]], [3, 0])
+        # x + y = 4, x - y = 0 -> x = y = 2.
+        assert diophantine_solvable([[1, 1], [1, -1]], [4, 0])
+
+    def test_redundant_rows(self):
+        assert diophantine_solvable([[1, 2], [2, 4]], [3, 6])
+        assert not diophantine_solvable([[1, 2], [2, 4]], [3, 7])
+
+    def test_more_equations_than_variables(self):
+        assert diophantine_solvable([[1], [2], [3]], [5, 10, 15])
+        assert not diophantine_solvable([[1], [2]], [5, 11])
+
+    def test_empty_cases(self):
+        assert diophantine_solvable([], [])
+        assert diophantine_solvable([[]], [0])
+        assert not diophantine_solvable([[]], [1])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-9, 9), min_size=3, max_size=3),
+            min_size=1,
+            max_size=3,
+        ),
+        st.lists(st.integers(-6, 6), min_size=3, max_size=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_enumeration(self, matrix, point):
+        """Solvability decision matches searching a generous box."""
+        point = point[: len(matrix[0])]
+        rhs = [
+            sum(a * x for a, x in zip(row, point)) for row in matrix
+        ]
+        # A solution exists by construction.
+        assert diophantine_solvable(matrix, rhs)
+
+    @given(
+        st.lists(st.integers(-9, 9), min_size=2, max_size=4),
+        st.integers(-40, 40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_single_row_matches_gcd(self, row, rhs):
+        import math
+
+        got = diophantine_solvable([row], [rhs])
+        nonzero = [abs(a) for a in row if a]
+        if not nonzero:
+            assert got == (rhs == 0)
+        else:
+            assert got == (rhs % math.gcd(*nonzero) == 0)
+
+
+class TestGeneralizedGcdTest:
+    def test_coupled_system_disproved(self):
+        eqs = [
+            LinExpr({"x": 1, "y": 1}, -3),
+            LinExpr({"x": 1, "y": -1}, 0),
+        ]
+        p = DependenceProblem(
+            eqs, [BoundedVar.make("x", 9), BoundedVar.make("y", 9)]
+        )
+        assert generalized_gcd_test(p) is Verdict.INDEPENDENT
+
+    def test_ignores_bounds(self):
+        # Solvable over Z but out of bounds: still MAYBE.
+        p = DependenceProblem.single({"x": 1}, -100, {"x": 9})
+        assert generalized_gcd_test(p) is Verdict.MAYBE
+
+    def test_intro_equation_not_disproved(self, intro_equation):
+        assert generalized_gcd_test(intro_equation) is Verdict.MAYBE
+
+
+class TestLambdaTest:
+    def test_intro_equation_not_disproved(self, intro_equation):
+        # Single equation: degenerates to GCD+Banerjee, which fail.
+        assert lambda_test(intro_equation) is Verdict.MAYBE
+
+    def test_coupled_subscripts_disproved(self):
+        # A(i, i) vs A(j, j+1)-style coupling: i = j and i = j + 1.
+        eqs = [
+            LinExpr({"i": 1, "j": -1}, 0),
+            LinExpr({"i": 1, "j": -1}, -1),
+        ]
+        p = DependenceProblem(
+            eqs, [BoundedVar.make("i", 9), BoundedVar.make("j", 9)]
+        )
+        assert lambda_test(p) is Verdict.INDEPENDENT
+
+    def test_banerjee_blind_coupling(self):
+        # Each equation alone passes Banerjee; the difference combination
+        # 2*eq1 - eq2 exposes the contradiction.
+        eqs = [
+            LinExpr({"i": 1, "j": 1}, -9),  # i + j = 9
+            LinExpr({"i": 2, "j": 2}, -19),  # 2i + 2j = 19
+        ]
+        p = DependenceProblem(
+            eqs, [BoundedVar.make("i", 9), BoundedVar.make("j", 9)]
+        )
+        assert lambda_test(p) is Verdict.INDEPENDENT
+
+    def test_combination_count(self):
+        eqs = [
+            LinExpr({"i": 1, "j": 1}, 0),
+            LinExpr({"i": 1, "j": -1}, 0),
+        ]
+        combos = lambda_combinations(eqs)
+        # 2 bases + eliminations for the shared variables i and j.
+        assert len(combos) == 4
+
+    def test_symbolic_gives_maybe(self):
+        from repro.symbolic import Poly
+
+        n = Poly.symbol("N")
+        p = DependenceProblem(
+            [LinExpr({"x": n}, -1)], [BoundedVar.make("x", 9)]
+        )
+        assert lambda_test(p) is Verdict.MAYBE

@@ -1,0 +1,113 @@
+"""Tests for the Omega-style exact integer test."""
+
+from hypothesis import given, settings
+
+from repro.deptests import (
+    DependenceProblem,
+    Verdict,
+    exhaustive_test,
+    omega_test,
+)
+from repro.deptests.omega import _symmetric_mod
+from repro.symbolic import LinExpr, Poly
+from repro.deptests import BoundedVar
+
+from .test_soundness_properties import problems
+
+
+class TestIntroEquation:
+    def test_disproves_equation_1(self, intro_equation):
+        assert omega_test(intro_equation) is Verdict.INDEPENDENT
+
+    def test_proves_forward_shift(self, forward_shift):
+        assert omega_test(forward_shift) is Verdict.DEPENDENT
+
+    def test_out_of_reach(self, out_of_reach_shift):
+        assert omega_test(out_of_reach_shift) is Verdict.INDEPENDENT
+
+    def test_mhl91_dependent(self, mhl91_example):
+        assert omega_test(mhl91_example) is Verdict.DEPENDENT
+
+
+class TestEqualityElimination:
+    def test_gcd_contradiction(self):
+        p = DependenceProblem.single(
+            {"x": 2, "y": -2}, -1, {"x": 9, "y": 9}
+        )
+        assert omega_test(p) is Verdict.INDEPENDENT
+
+    def test_no_unit_coefficients(self):
+        # 7x + 12y = 17 over [0, 9]^2: x = 5 is out... x=5? 7*5=35, 12y=-18
+        # no; solutions: 7x+12y=17 -> x=5,y=-1.5 no; x= -1 mod 12...
+        # 7x ≡ 17 (mod 12) -> 7x ≡ 5 -> x ≡ 11 (mod 12): x=11 > 9: infeasible.
+        p = DependenceProblem.single(
+            {"x": 7, "y": 12}, -17, {"x": 9, "y": 9}
+        )
+        assert omega_test(p) is exhaustive_test(p)
+
+    def test_large_coefficients_solvable(self):
+        p = DependenceProblem.single(
+            {"x": 7, "y": 12}, -31, {"x": 9, "y": 9}
+        )
+        # 7*1 + 12*2 = 31: dependent.
+        assert omega_test(p) is Verdict.DEPENDENT
+
+    def test_system_of_equations(self):
+        eqs = [
+            LinExpr({"x": 1, "y": 1}, -10),
+            LinExpr({"x": 1, "y": -1}, -2),
+        ]
+        p = DependenceProblem(
+            eqs, [BoundedVar.make("x", 9), BoundedVar.make("y", 9)]
+        )
+        # x + y = 10, x - y = 2 -> x = 4... x-y=-2 => x=4,y=6.
+        assert omega_test(p) is Verdict.DEPENDENT
+
+
+class TestSymmetricMod:
+    def test_range(self):
+        for a in range(-25, 26):
+            for b in range(2, 9):
+                r = _symmetric_mod(a, b)
+                assert (a - r) % b == 0
+                assert -b / 2 <= r <= b / 2
+
+    def test_examples(self):
+        assert _symmetric_mod(7, 10) == -3
+        assert _symmetric_mod(4, 10) == 4
+        assert _symmetric_mod(-110, 100) == -10
+
+
+class TestBudget:
+    def test_budget_exhaustion_gives_maybe(self):
+        p = DependenceProblem.single(
+            {f"z{i}": 2 * i + 3 for i in range(8)},
+            -1234,
+            {f"z{i}": 9 for i in range(8)},
+        )
+        assert omega_test(p, work_limit=5) is Verdict.MAYBE
+
+    def test_symbolic_gives_maybe(self):
+        n = Poly.symbol("N")
+        p = DependenceProblem(
+            [LinExpr({"x": 1}, -n)], [BoundedVar.make("x", n)]
+        )
+        assert omega_test(p) is Verdict.MAYBE
+
+
+@given(problems())
+@settings(max_examples=150, deadline=None)
+def test_omega_is_exact(problem):
+    """Omega must MATCH the oracle whenever it answers definitely."""
+    verdict = omega_test(problem)
+    if verdict is Verdict.MAYBE:
+        return
+    assert verdict is exhaustive_test(problem)
+
+
+@given(problems(max_vars=3, max_coeff=15, max_bound=6))
+@settings(max_examples=100, deadline=None)
+def test_omega_decides_small_problems(problem):
+    """With generous budget, small problems should always be decided."""
+    verdict = omega_test(problem, work_limit=200_000)
+    assert verdict is exhaustive_test(problem)

@@ -1,0 +1,117 @@
+"""Unit tests for the DependenceProblem representation."""
+
+import pytest
+
+from repro.deptests import BoundedVar, DependenceProblem
+from repro.dirvec import DirVec
+from repro.symbolic import LinExpr, Poly
+
+
+class TestConstruction:
+    def test_single_builder(self):
+        p = DependenceProblem.single(
+            {"a": 1, "b": -1}, -2, {"a": 5, "b": 5}, pairs=[("a", "b")]
+        )
+        assert p.common_levels == 1
+        assert p.variables["a"].level == 1
+        assert p.variables["a"].side == 0
+        assert p.variables["b"].side == 1
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceProblem(
+                [LinExpr({"a": 1}, 0)],
+                [BoundedVar.make("a", 5), BoundedVar.make("a", 6)],
+            )
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceProblem([LinExpr({"a": 1}, 0)], [])
+
+    def test_is_concrete(self):
+        n = Poly.symbol("N")
+        concrete = DependenceProblem.single({"a": 1}, 0, {"a": 5})
+        assert concrete.is_concrete()
+        symbolic = DependenceProblem(
+            [LinExpr({"a": n}, 0)], [BoundedVar.make("a", 5)]
+        )
+        assert not symbolic.is_concrete()
+        symbolic_bound = DependenceProblem(
+            [LinExpr({"a": 1}, 0)], [BoundedVar.make("a", n)]
+        )
+        assert not symbolic_bound.is_concrete()
+
+
+class TestLevelPairs:
+    def test_level_pairs(self):
+        p = DependenceProblem.single(
+            {"a": 1, "b": -1, "c": 2, "d": -2},
+            0,
+            {"a": 5, "b": 5, "c": 3, "d": 3},
+            pairs=[("a", "b"), ("c", "d")],
+        )
+        pairs = p.level_pairs()
+        assert [(x.name, y.name) for x, y in pairs] == [("a", "b"), ("c", "d")]
+
+    def test_missing_pair_raises(self):
+        p = DependenceProblem(
+            [LinExpr({"a": 1}, 0)],
+            [BoundedVar("a", Poly.const(5), 1, 0)],
+            common_levels=1,
+        )
+        with pytest.raises(ValueError):
+            p.level_pairs()
+
+    def test_direction_of_solution(self):
+        p = DependenceProblem.single(
+            {"a": 1, "b": -1}, 0, {"a": 5, "b": 5}, pairs=[("a", "b")]
+        )
+        assert p.direction_of_solution({"a": 1, "b": 3}) == DirVec.parse("(<)")
+        assert p.direction_of_solution({"a": 3, "b": 3}) == DirVec.parse("(=)")
+        assert p.direction_of_solution({"a": 4, "b": 0}) == DirVec.parse("(>)")
+
+
+class TestEnumeration:
+    def test_iteration_count(self):
+        p = DependenceProblem.single({"a": 1, "b": 1}, 0, {"a": 4, "b": 9})
+        assert p.iteration_count() == 50
+
+    def test_negative_bound_empty(self):
+        p = DependenceProblem(
+            [LinExpr({"a": 1}, 0)], [BoundedVar.make("a", -1)]
+        )
+        assert p.iteration_count() == 0
+        assert list(p.enumerate_solutions()) == []
+
+    def test_is_solution(self):
+        p = DependenceProblem.single({"a": 1, "b": -1}, -2, {"a": 5, "b": 5})
+        assert p.is_solution({"a": 3, "b": 1})
+        assert not p.is_solution({"a": 3, "b": 2})
+        assert not p.is_solution({"a": 7, "b": 5})  # out of bounds
+
+    def test_symbolic_evaluation(self):
+        n = Poly.symbol("N")
+        p = DependenceProblem(
+            [LinExpr({"a": 1}, -n)], [BoundedVar.make("a", n)]
+        )
+        assert p.is_solution({"a": 4}, {"N": 4})
+        assert not p.is_solution({"a": 4}, {"N": 5})
+
+
+class TestRestriction:
+    def test_restrict_to_equation(self):
+        eq1 = LinExpr({"a": 1}, 0)
+        eq2 = LinExpr({"b": 1}, -1)
+        p = DependenceProblem(
+            [eq1, eq2],
+            [BoundedVar.make("a", 5), BoundedVar.make("b", 5)],
+        )
+        sub = p.restrict_to_equation(1)
+        assert len(sub.equations) == 1
+        assert set(sub.variables) == {"b"}
+
+    def test_str(self):
+        p = DependenceProblem.single({"a": 1}, -2, {"a": 5})
+        text = str(p)
+        assert "a - 2 = 0" in text
+        assert "a in [0, 5]" in text

@@ -1,0 +1,121 @@
+"""Property-based soundness: no test may ever contradict the oracle.
+
+Random small dependence problems are generated and each classical test's
+verdict is compared with exhaustive enumeration:
+
+* a test answering INDEPENDENT must match an oracle INDEPENDENT;
+* a test answering DEPENDENT must match an oracle DEPENDENT;
+* MAYBE is always acceptable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deptests import (
+    CLASSICAL_TESTS,
+    DependenceProblem,
+    Verdict,
+    exhaustive_test,
+)
+from repro.symbolic import LinExpr
+from repro.deptests import BoundedVar
+
+VAR_NAMES = ["z1", "z2", "z3", "z4"]
+
+
+@st.composite
+def problems(draw, max_vars=4, max_equations=2, max_coeff=10, max_bound=8):
+    count = draw(st.integers(1, max_vars))
+    names = VAR_NAMES[:count]
+    variables = [
+        BoundedVar.make(name, draw(st.integers(0, max_bound)))
+        for name in names
+    ]
+    equations = []
+    for _ in range(draw(st.integers(1, max_equations))):
+        coeffs = {
+            name: draw(st.integers(-max_coeff, max_coeff)) for name in names
+        }
+        constant = draw(st.integers(-30, 30))
+        equations.append(LinExpr(coeffs, constant))
+    pair_count = count // 2
+    for level in range(pair_count):
+        alpha = variables[2 * level]
+        beta = variables[2 * level + 1]
+        variables[2 * level] = BoundedVar(alpha.name, alpha.upper, level + 1, 0)
+        variables[2 * level + 1] = BoundedVar(beta.name, beta.upper, level + 1, 1)
+    return DependenceProblem(equations, variables, common_levels=pair_count)
+
+
+@given(problems())
+@settings(max_examples=150, deadline=None)
+def test_all_tests_sound_against_oracle(problem):
+    truth = exhaustive_test(problem)
+    for name, test in CLASSICAL_TESTS.items():
+        verdict = test(problem)
+        if verdict is Verdict.INDEPENDENT:
+            assert truth is Verdict.INDEPENDENT, (
+                f"{name} wrongly disproved {problem}"
+            )
+        elif verdict is Verdict.DEPENDENT:
+            assert truth is Verdict.DEPENDENT, (
+                f"{name} wrongly proved {problem}"
+            )
+
+
+@given(problems(max_vars=2, max_equations=1))
+@settings(max_examples=100, deadline=None)
+def test_tightened_fm_never_weaker_than_banerjee(problem):
+    """Tightened FM subsumes Banerjee on single equations."""
+    banerjee = CLASSICAL_TESTS["Banerjee inequalities"](problem)
+    tightened = CLASSICAL_TESTS["Fourier-Motzkin + tightening"](problem)
+    if banerjee is Verdict.INDEPENDENT:
+        assert tightened is Verdict.INDEPENDENT
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_with_direction_is_sound(problem):
+    """A direction-constrained problem never loses directed solutions.
+
+    The constrained problem is a rectangular over-approximation (see
+    ``DependenceProblem.with_direction``): it may contain spurious points,
+    but every original solution realizing the direction must survive, so a
+    constrained INDEPENDENT verdict must be exact.
+    """
+    if problem.common_levels == 0:
+        return
+    from repro.dirvec import DirVec
+
+    directed = {}
+    for sol in problem.enumerate_solutions():
+        directed.setdefault(problem.direction_of_solution(sol), []).append(sol)
+    for dirvec in DirVec.star(problem.common_levels).atomic_vectors():
+        constrained = problem.with_direction(dirvec)
+        constrained_feasible = (
+            exhaustive_test(constrained) is Verdict.DEPENDENT
+        )
+        if directed.get(dirvec):
+            assert constrained_feasible, (
+                f"direction {dirvec} wrongly infeasible for {problem}"
+            )
+
+
+@given(problems(max_vars=2, max_equations=1))
+@settings(max_examples=80, deadline=None)
+def test_with_direction_exact_on_equal_bounds(problem):
+    """With equal per-level bounds and one pair, '=' constraining is exact."""
+    if problem.common_levels != 1:
+        return
+    from repro.dirvec import DirVec
+
+    alpha, beta = problem.level_pairs()[0]
+    if alpha.upper != beta.upper:
+        return
+    constrained = problem.with_direction(DirVec.parse("(=)"))
+    expected = any(
+        problem.direction_of_solution(sol) == DirVec.parse("(=)")
+        for sol in problem.enumerate_solutions()
+    )
+    got = exhaustive_test(constrained) is Verdict.DEPENDENT
+    assert got == expected

@@ -1,0 +1,112 @@
+"""Tests for hierarchical direction-vector refinement."""
+
+from hypothesis import given, settings
+
+from repro.deptests import (
+    DependenceProblem,
+    exhaustive_direction_vectors,
+    exhaustive_test,
+    gcd_banerjee_test,
+)
+from repro.dirvec import DirVec
+from repro.dirvec.hierarchy import prune_self_dependence, refine_directions
+
+from ..deptests.test_soundness_properties import problems
+
+
+def make(coeffs, const, bounds, pairs):
+    return DependenceProblem.single(coeffs, const, bounds, pairs=pairs)
+
+
+class TestRefinement:
+    def test_forward_shift(self):
+        problem = make(
+            {"i1": 1, "i2": -1}, 1, {"i1": 8, "i2": 8}, [("i1", "i2")]
+        )
+        got = refine_directions(problem, gcd_banerjee_test)
+        assert got == {DirVec.parse("(<)")}
+
+    def test_independent_problem_empty(self):
+        problem = make(
+            {"i1": 1, "i2": -1}, -5, {"i1": 4, "i2": 4}, [("i1", "i2")]
+        )
+        assert refine_directions(problem, gcd_banerjee_test) == set()
+
+    def test_two_levels_banerjee_vs_delinearization(self):
+        # True solutions: i1 = i2 and j2 = j1 + 1, direction (=, <).
+        problem = DependenceProblem.single(
+            {"i1": 1, "i2": -1, "j1": 100, "j2": -100},
+            100,
+            {"i1": 9, "i2": 9, "j1": 9, "j2": 9},
+            pairs=[("i1", "i2"), ("j1", "j2")],
+        )
+        got = refine_directions(problem, gcd_banerjee_test)
+        # GCD+Banerjee on the whole linearized equation cannot prune (>, <)
+        # (the combined range still straddles zero there)...
+        assert DirVec.parse("(=, <)") in got
+        assert got <= {DirVec.parse("(=, <)"), DirVec.parse("(>, <)")}
+        # ...while delinearization splits the equation and pins (=, <)
+        # exactly — the paper's precision claim for direction vectors.
+        from repro.core import delinearize
+
+        result = delinearize(problem)
+        assert result.direction_vectors == {DirVec.parse("(=, <)")}
+        assert exhaustive_direction_vectors(problem) == {
+            DirVec.parse("(=, <)")
+        }
+
+    def test_max_levels_limits_depth(self):
+        problem = make(
+            {"i1": 1, "i2": -1}, 0, {"i1": 8, "i2": 8}, [("i1", "i2")]
+        )
+        got = refine_directions(problem, gcd_banerjee_test, max_levels=0)
+        assert got == {DirVec.parse("(*)")}
+
+
+@given(problems())
+@settings(max_examples=80, deadline=None)
+def test_refinement_covers_all_real_directions(problem):
+    if problem.common_levels == 0:
+        return
+    refined = refine_directions(problem, gcd_banerjee_test)
+    for real in exhaustive_direction_vectors(problem):
+        assert any(vec.contains(real) for vec in refined), (
+            f"{real} not covered by {refined} for {problem}"
+        )
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_exhaustive_refinement_is_exact(problem):
+    from repro.deptests import Verdict
+
+    if problem.common_levels == 0:
+        return
+
+    def exact(p):
+        return exhaustive_test(p)
+
+    refined = refine_directions(problem, exact)
+    real = exhaustive_direction_vectors(problem)
+    # With an exact test every refined vector must contain a real one...
+    # (the converse holds too but rectangularization can keep a spurious
+    # vector only when with_direction over-approximates, which for atomic
+    # refinement of equal-bounds pairs cannot happen at the independence
+    # level; we assert coverage here.)
+    for vec in real:
+        assert any(r.contains(vec) for r in refined)
+
+
+class TestPruneSelfDependence:
+    def test_identity_dropped(self):
+        vectors = {DirVec.parse("(=, =)")}
+        assert prune_self_dependence(vectors, True) == set()
+
+    def test_composite_rebuilt_without_identity(self):
+        vectors = {DirVec.parse("(*, =)")}
+        out = prune_self_dependence(vectors, True)
+        assert out == {DirVec.parse("(!=, =)")}
+
+    def test_untouched_when_not_same_statement(self):
+        vectors = {DirVec.parse("(=, =)")}
+        assert prune_self_dependence(vectors, False) == vectors

@@ -1,0 +1,101 @@
+"""Property-based tests for direction-vector algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dirvec import DirElem, DirVec, merge_direction_sets, summarize
+from repro.dirvec.vectors import EQ, GT, LT
+
+
+@st.composite
+def dir_elems(draw):
+    return DirElem(draw(st.integers(1, 7)))
+
+
+@st.composite
+def dir_vecs(draw, length=None):
+    n = length if length is not None else draw(st.integers(1, 3))
+    return DirVec([draw(dir_elems()) for _ in range(n)])
+
+
+@st.composite
+def vec_sets(draw, length=2):
+    return {
+        draw(dir_vecs(length=length))
+        for _ in range(draw(st.integers(1, 4)))
+    }
+
+
+def atomic_union(vectors):
+    out = set()
+    for vec in vectors:
+        out.update(vec.atomic_vectors())
+    return out
+
+
+@given(vec_sets())
+@settings(max_examples=150)
+def test_summarize_is_lossless(vectors):
+    """Summarization preserves exactly the set of atomic vectors."""
+    assert atomic_union(summarize(vectors)) == atomic_union(vectors)
+
+
+@given(vec_sets(), vec_sets())
+@settings(max_examples=150)
+def test_merge_is_intersection_of_atomics(old, new):
+    merged = merge_direction_sets(old, new)
+    got = atomic_union(merged)
+    expected = atomic_union(old) & atomic_union(new)
+    # Pairwise meets can under-approximate only if some atomic is shared by
+    # no single (old, new) pair — impossible: an atomic in both unions
+    # belongs to some old vec and some new vec, whose meet contains it.
+    assert got == expected
+
+
+@given(dir_vecs(length=2), dir_vecs(length=2))
+@settings(max_examples=100)
+def test_meet_is_commutative_and_sound(a, b):
+    ab = a.meet(b)
+    ba = b.meet(a)
+    assert ab == ba
+    if ab is not None:
+        for atomic in ab.atomic_vectors():
+            assert a.contains(atomic) and b.contains(atomic)
+
+
+@given(dir_vecs())
+@settings(max_examples=100)
+def test_reversal_is_involutive(vec):
+    assert vec.reversed_directions().reversed_directions() == vec
+
+
+@given(dir_vecs())
+@settings(max_examples=100)
+def test_atomic_count(vec):
+    expected = 1
+    for elem in vec:
+        expected *= len(elem.atoms())
+    assert len(list(vec.atomic_vectors())) == expected
+
+
+@given(dir_vecs())
+@settings(max_examples=100)
+def test_lexicographic_class_consistency(vec):
+    classes = {
+        DirVec._atomic_class(a) for a in vec.atomic_vectors()
+    }
+    klass = vec.lexicographic_class()
+    if klass == "zero":
+        assert classes == {"zero"}
+    elif klass == "positive":
+        assert "positive" in classes and "negative" not in classes
+    elif klass == "negative":
+        assert "negative" in classes and "positive" not in classes
+    else:
+        assert {"positive", "negative"} <= classes or (
+            "positive" in classes and "negative" in classes
+        )
+
+
+def test_masks_exported_consistently():
+    assert LT | EQ | GT == 7

@@ -1,0 +1,146 @@
+"""Tests for direction/distance vector machinery."""
+
+import pytest
+
+from repro.dirvec import (
+    D_EQ,
+    D_GE,
+    D_GT,
+    D_LE,
+    D_LT,
+    D_NE,
+    D_STAR,
+    DirElem,
+    DirVec,
+    DistanceElem,
+    DistanceVec,
+    merge_direction_sets,
+    summarize,
+)
+
+
+class TestDirElem:
+    def test_parse(self):
+        assert DirElem.parse("<") == D_LT
+        assert DirElem.parse("*") == D_STAR
+        assert DirElem.parse("<=") == D_LE
+        assert DirElem.parse("!=") == D_NE
+        with pytest.raises(ValueError):
+            DirElem.parse("?")
+
+    def test_set_operations(self):
+        assert (D_LE & D_GE) == D_EQ
+        assert (D_LT | D_GT) == D_NE
+        assert (D_LT & D_GT).is_empty()
+
+    def test_containment(self):
+        assert D_LT in D_STAR
+        assert D_LT in D_LE
+        assert D_GT not in D_LE
+
+    def test_atoms(self):
+        assert D_STAR.atoms() == [D_LT, D_EQ, D_GT]
+        assert D_EQ.atoms() == [D_EQ]
+
+    def test_str(self):
+        assert str(D_LE) == "<="
+        assert str(D_STAR) == "*"
+
+    def test_bad_mask(self):
+        with pytest.raises(ValueError):
+            DirElem(8)
+
+
+class TestDirVec:
+    def test_parse_and_str(self):
+        v = DirVec.parse("(*, <, =)")
+        assert str(v) == "(*, <, =)"
+        assert DirVec.parse("") == DirVec([])
+
+    def test_star(self):
+        assert str(DirVec.star(2)) == "(*, *)"
+
+    def test_meet(self):
+        a = DirVec.parse("(*, <=)")
+        b = DirVec.parse("(=, <)")
+        assert a.meet(b) == DirVec.parse("(=, <)")
+
+    def test_meet_empty(self):
+        assert DirVec.parse("(<)").meet(DirVec.parse("(>)")) is None
+
+    def test_meet_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DirVec.star(1).meet(DirVec.star(2))
+
+    def test_atomic_vectors(self):
+        atoms = set(DirVec.parse("(*, =)").atomic_vectors())
+        assert atoms == {
+            DirVec.parse("(<, =)"),
+            DirVec.parse("(=, =)"),
+            DirVec.parse("(>, =)"),
+        }
+
+    def test_contains(self):
+        assert DirVec.parse("(*, <=)").contains(DirVec.parse("(<, =)"))
+        assert not DirVec.parse("(=, <)").contains(DirVec.parse("(<, <)"))
+
+    def test_reversed_directions(self):
+        v = DirVec.parse("(<, >=, *)")
+        assert v.reversed_directions() == DirVec.parse("(>, <=, *)")
+
+    def test_lexicographic_class(self):
+        assert DirVec.parse("(=, =)").lexicographic_class() == "zero"
+        assert DirVec.parse("(<, *)").lexicographic_class() == "positive"
+        assert DirVec.parse("(>, =)").lexicographic_class() == "negative"
+        assert DirVec.parse("(*, =)").lexicographic_class() == "mixed"
+        assert DirVec.parse("(<=, =)").lexicographic_class() == "positive"
+
+
+class TestMerge:
+    def test_figure4_merge(self):
+        old = {DirVec.parse("(*, *)")}
+        new = {DirVec.parse("(<, *)"), DirVec.parse("(=, *)")}
+        merged = merge_direction_sets(old, new)
+        assert merged == new
+
+    def test_merge_drops_empty(self):
+        old = {DirVec.parse("(<, *)")}
+        new = {DirVec.parse("(>, *)")}
+        assert merge_direction_sets(old, new) == set()
+
+
+class TestSummarize:
+    def test_paper_rule_merges_single_position(self):
+        # (=,<) + (=,=) -> (=,<=) is lossless.
+        merged = summarize({DirVec.parse("(=, <)"), DirVec.parse("(=, =)")})
+        assert merged == {DirVec.parse("(=, <=)")}
+
+    def test_paper_rule_blocks_two_positions(self):
+        # (<,=) + (=,<) must NOT merge to (<=,<=).
+        vectors = {DirVec.parse("(<, =)"), DirVec.parse("(=, <)")}
+        assert summarize(vectors) == vectors
+
+    def test_full_star_collapse(self):
+        vectors = {
+            DirVec.parse("(<)"),
+            DirVec.parse("(=)"),
+            DirVec.parse("(>)"),
+        }
+        assert summarize(vectors) == {DirVec.parse("(*)")}
+
+
+class TestDistance:
+    def test_exact_direction_inference(self):
+        assert DistanceElem.exact(2).direction == D_LT
+        assert DistanceElem.exact(0).direction == D_EQ
+        assert DistanceElem.exact(-1).direction == D_GT
+
+    def test_str(self):
+        assert str(DistanceElem.exact(2)) == "+2"
+        assert str(DistanceElem.exact(0)) == "0"
+        assert str(DistanceElem.unknown(D_STAR)) == "*"
+
+    def test_distance_vec(self):
+        v = DistanceVec([DistanceElem.unknown(D_STAR), DistanceElem.exact(1)])
+        assert str(v) == "(*, +1)"
+        assert v.direction_vector() == DirVec.parse("(*, <)")

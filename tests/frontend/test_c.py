@@ -1,0 +1,133 @@
+"""Tests for the C subset parser, on the paper's pointer examples."""
+
+import pytest
+
+from repro.frontend import ParseError, parse_c
+from repro.ir import ArrayRef, Assignment, Deref, Loop
+
+
+class TestDeclarations:
+    def test_array(self):
+        p, info = parse_c("float d[100];")
+        assert str(p.array("d").dims[0]) == "0:99"
+        assert not info.pointers
+
+    def test_multi_dimensional_array(self):
+        p, _ = parse_c("float d[10][10];")
+        decl = p.array("d")
+        assert decl.rank == 2
+        assert str(decl.dims[1]) == "0:9"
+
+    def test_pointers(self):
+        _, info = parse_c("float *i, *j;")
+        assert set(info.pointers) == {"i", "j"}
+        assert info.pointers["i"] == "float"
+
+    def test_int_scalars(self):
+        _, info = parse_c("int i, j;")
+        assert info.scalars == {"i", "j"}
+
+
+class TestForLoops:
+    def test_strict_less_becomes_inclusive(self):
+        p, _ = parse_c("int i; float x[10]; for (i = 0; i < 5; i++) x[i] = 0;")
+        loop = p.body[0]
+        assert isinstance(loop, Loop)
+        assert str(loop.lower) == "0"
+        assert str(loop.upper) == "4"
+
+    def test_less_equal_kept(self):
+        p, _ = parse_c("int i; float x[99]; for (i = 0; i <= 90; i += 10) x[i] = 0;")
+        loop = p.body[0]
+        assert str(loop.upper) == "90"
+        assert str(loop.step) == "10"
+
+    def test_block_body(self):
+        p, _ = parse_c(
+            "int i; float x[10], y[10];"
+            "for (i = 0; i < 5; i++) { x[i] = 0; y[i] = 1; }"
+        )
+        assert len(p.body[0].body) == 2
+
+    def test_mismatched_condition_variable(self):
+        with pytest.raises(ParseError):
+            parse_c("int i, j; for (i = 0; j < 5; i++) ;")
+
+    def test_mismatched_update_variable(self):
+        with pytest.raises(ParseError):
+            parse_c("int i, j; for (i = 0; i < 5; j++) ;")
+
+    def test_unsupported_condition(self):
+        with pytest.raises(ParseError):
+            parse_c("int i; for (i = 5; i > 0; i++) ;")
+
+
+class TestPaperPointerExample:
+    SOURCE = """
+        float d[100];
+        float *i, *j;
+        for (j = d; j <= d + 90; j += 10)
+            for (i = j; i < j + 5; i++)
+                *i = *(i + 5);
+    """
+
+    def test_structure(self):
+        p, info = parse_c(self.SOURCE)
+        assert set(info.pointers) == {"i", "j"}
+        outer = p.body[0]
+        assert isinstance(outer, Loop) and outer.var == "j"
+        assert str(outer.lower) == "d"
+        assert str(outer.upper) == "d+90"
+        inner = outer.body[0]
+        assert inner.var == "i"
+        stmt = inner.body[0]
+        assert isinstance(stmt, Assignment)
+        assert isinstance(stmt.lhs, Deref)
+        assert str(stmt.rhs) == "*(i+5)"
+
+
+class TestIndexedExample:
+    SOURCE = """
+        float d[100];
+        int i, j;
+        for (j = 0; j < 10; j++)
+            for (i = 0; i < 5; i++)
+                d[j*10+i] = d[j*10+i+5];
+    """
+
+    def test_subscripts(self):
+        p, _ = parse_c(self.SOURCE)
+        stmt = p.assignments()[0]
+        assert isinstance(stmt.lhs, ArrayRef)
+        assert str(stmt.lhs) == "d(j*10+i)"
+
+    def test_two_dim_refs(self):
+        p, _ = parse_c(
+            "float d[10][10]; int i, j;"
+            "for (j = 0; j < 10; j++) for (i = 0; i < 5; i++)"
+            "  d[j][i] = d[j][i+5];"
+        )
+        stmt = p.assignments()[0]
+        assert stmt.lhs.rank == 2
+
+
+class TestMisc:
+    def test_comments(self):
+        p, _ = parse_c("// line\nfloat x[4]; /* block\nstill */ int i;\n")
+        assert "x" in p.decls
+
+    def test_empty_statement(self):
+        p, _ = parse_c("int i; for (i = 0; i < 5; i++) ;")
+        assert p.body[0].body == []
+
+    def test_call_expression(self):
+        p, _ = parse_c("float x[10]; int i; x[i] = f(i, 2);")
+        assert str(p.assignments()[0].rhs) == "f(i, 2)"
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_c("int i; { i = 0;")
+
+    def test_statement_labels_assigned(self):
+        p, _ = parse_c("float x[4]; int i; x[0] = 1; x[1] = 2;")
+        assert [s.label for s in p.assignments()] == ["S1", "S2"]

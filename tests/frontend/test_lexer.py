@@ -1,0 +1,122 @@
+"""Unit tests for the shared lexer."""
+
+import pytest
+
+from repro.frontend.errors import ParseError
+from repro.frontend.lexer import (
+    EOF,
+    IDENT,
+    INT,
+    NEWLINE,
+    OP,
+    TokenStream,
+    tokenize,
+)
+
+
+def kinds(source, **kwargs):
+    return [(t.kind, t.text) for t in tokenize(source, **kwargs)]
+
+
+class TestTokenize:
+    def test_basic(self):
+        tokens = kinds("DO 10 i = 1, N\n")
+        assert tokens == [
+            (IDENT, "DO"),
+            (INT, "10"),
+            (IDENT, "i"),
+            (OP, "="),
+            (INT, "1"),
+            (OP, ","),
+            (IDENT, "N"),
+            (NEWLINE, "\n"),
+            (EOF, ""),
+        ]
+
+    def test_multi_char_operators(self):
+        tokens = kinds("a += 1; b ++; c <= d\n", c_comments=True)
+        texts = [t for _, t in tokens]
+        assert "+=" in texts and "++" in texts and "<=" in texts
+
+    def test_comments_stripped(self):
+        tokens = kinds("X = 1 ! trailing comment\n")
+        assert (IDENT, "comment") not in tokens
+
+    def test_c_line_comment(self):
+        tokens = kinds("x = 1 // note\n", comment_chars="", c_comments=True)
+        assert len([t for t in tokens if t[0] == IDENT]) == 1
+
+    def test_c_block_comment_multiline(self):
+        tokens = kinds(
+            "a /* one\ntwo\nthree */ b\n", comment_chars="", c_comments=True
+        )
+        idents = [t for k, t in tokens if k == IDENT]
+        assert idents == ["a", "b"]
+
+    def test_blank_lines_no_newline_tokens(self):
+        tokens = kinds("\n\nX = 1\n\n")
+        newlines = [t for t in tokens if t[0] == NEWLINE]
+        assert len(newlines) == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("X = `1\n")
+        assert err.value.line == 1
+
+    def test_positions(self):
+        tokens = tokenize("AB = 12\n")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[2].column == 6
+
+    def test_underscored_identifiers(self):
+        tokens = kinds("_stor1 = 1\n")
+        assert tokens[0] == (IDENT, "_stor1")
+
+
+class TestTokenStream:
+    def stream(self, text):
+        return TokenStream(tokenize(text))
+
+    def test_peek_and_next(self):
+        ts = self.stream("A B\n")
+        assert ts.peek().text == "A"
+        assert ts.next().text == "A"
+        assert ts.peek().text == "B"
+
+    def test_peek_offset(self):
+        ts = self.stream("A B C\n")
+        assert ts.peek(2).text == "C"
+        assert ts.peek(99).kind == EOF
+
+    def test_accept(self):
+        ts = self.stream("A = 1\n")
+        assert ts.accept(IDENT) is not None
+        assert ts.accept(IDENT) is None
+        assert ts.accept(OP, "=") is not None
+
+    def test_expect_error_location(self):
+        ts = self.stream("A B\n")
+        ts.next()
+        with pytest.raises(ParseError) as err:
+            ts.expect(OP, "=")
+        assert "expected" in str(err.value)
+        assert err.value.line == 1
+
+    def test_at_keyword_case_insensitive(self):
+        ts = self.stream("enddo\n")
+        assert ts.at_keyword("ENDDO")
+        assert ts.at_keyword("EndDo")
+
+    def test_eof_is_sticky(self):
+        ts = self.stream("A\n")
+        ts.next()
+        ts.next()
+        ts.next()
+        assert ts.at_eof()
+        assert ts.next().kind == EOF
+
+    def test_skip_newlines(self):
+        ts = self.stream("A\nB\n")
+        ts.next()
+        ts.skip_newlines()
+        assert ts.peek().text == "B"

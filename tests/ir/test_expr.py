@@ -1,0 +1,116 @@
+"""Tests for the scalar expression AST."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Deref,
+    IntLit,
+    Name,
+    UnaryOp,
+    evaluate_expr,
+    substitute_name,
+)
+
+i = Name("i")
+j = Name("j")
+
+
+class TestConstruction:
+    def test_operator_builders(self):
+        e = i + 10 * j + 5
+        assert isinstance(e, BinOp)
+        assert str(e) == "i+10*j+5"
+
+    def test_reflected_operators(self):
+        assert str(10 - i) == "10-i"
+        assert str(2 * i) == "2*i"
+        assert str(1 + i) == "1+i"
+
+    def test_neg(self):
+        assert str(-i) == "-i"
+
+    def test_binop_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            BinOp("%", i, j)
+
+    def test_unary_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            UnaryOp("+", i)
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeError):
+            i + "j"  # type: ignore[operator]
+
+
+class TestDisplay:
+    def test_precedence_parens(self):
+        assert str((i + 1) * j) == "(i+1)*j"
+        assert str(i - (j - 1)) == "i-(j-1)"
+        assert str(i * j + 1) == "i*j+1"
+
+    def test_array_ref(self):
+        assert str(ArrayRef("A", (i, j + 1))) == "A(i, j+1)"
+
+    def test_call(self):
+        assert str(Call("IFUN", (IntLit(10),))) == "IFUN(10)"
+
+    def test_deref(self):
+        assert str(Deref(i)) == "*i"
+        assert str(Deref(i + 5)) == "*(i+5)"
+
+
+class TestWalk:
+    def test_names(self):
+        e = ArrayRef("A", (i + 10 * j, Call("F", (Name("k"),))))
+        assert e.names() == {"i", "j", "k"}
+
+    def test_walk_count(self):
+        e = i + j
+        assert len(list(e.walk())) == 3
+
+
+class TestSubstitute:
+    def test_substitute_in_binop(self):
+        e = substitute_name(i + 10 * j, "j", Name("k") + 1)
+        assert str(e) == "i+10*(k+1)"
+
+    def test_substitute_in_array_ref(self):
+        e = substitute_name(ArrayRef("A", (i,)), "i", IntLit(3))
+        assert e == ArrayRef("A", (IntLit(3),))
+
+    def test_substitute_in_call_and_deref(self):
+        e = substitute_name(Deref(Call("F", (i,))), "i", j)
+        assert str(e) == "*(F(j))" or str(e) == "*F(j)"
+
+    def test_substitute_untouched(self):
+        assert substitute_name(i, "q", j) == i
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        e = (i + 2) * (j - 1)
+        assert evaluate_expr(e, {"i": 3, "j": 5}) == 20
+
+    def test_fortran_division_truncates_toward_zero(self):
+        e = BinOp("/", Name("a"), Name("b"))
+        assert evaluate_expr(e, {"a": 7, "b": 2}) == 3
+        assert evaluate_expr(e, {"a": -7, "b": 2}) == -3
+        assert evaluate_expr(e, {"a": 7, "b": -2}) == -3
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            evaluate_expr(BinOp("/", i, IntLit(0)), {"i": 1})
+
+    def test_missing_name(self):
+        with pytest.raises(KeyError):
+            evaluate_expr(i, {})
+
+    def test_call_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate_expr(Call("F", ()), {})
+
+    def test_unary(self):
+        assert evaluate_expr(-i, {"i": 4}) == -4

@@ -1,0 +1,120 @@
+"""Tests for constant folding and affine simplification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import ArrayRef, BinOp, Call, IntLit, Name, UnaryOp, evaluate_expr
+from repro.ir.fold import fold, poly_to_expr, simplify, simplify_deep
+from repro.symbolic import Poly
+
+i = Name("i")
+j = Name("j")
+
+
+class TestFold:
+    def test_literal_arithmetic(self):
+        assert fold(IntLit(2) + IntLit(3) * IntLit(4)) == IntLit(14)
+
+    def test_truncating_division(self):
+        assert fold(BinOp("/", IntLit(7), IntLit(2))) == IntLit(3)
+        assert fold(BinOp("/", IntLit(-7), IntLit(2))) == IntLit(-3)
+        assert fold(BinOp("/", IntLit(7), IntLit(-2))) == IntLit(-3)
+
+    def test_division_by_zero_left_alone(self):
+        expr = BinOp("/", IntLit(7), IntLit(0))
+        assert fold(expr) == expr
+
+    def test_identities(self):
+        assert fold(i + 0) == i
+        assert fold(0 + i) == i
+        assert fold(i * 1) == i
+        assert fold(i * 0) == IntLit(0)
+        assert fold(i - 0) == i
+        assert fold(BinOp("/", i, IntLit(1))) == i
+
+    def test_double_negation(self):
+        assert fold(-(-i)) == i
+
+    def test_plus_negative_becomes_minus(self):
+        assert str(fold(i + IntLit(-3))) == "i-3"
+
+    def test_folds_inside_subscripts(self):
+        expr = ArrayRef("A", (IntLit(1) + IntLit(2),))
+        assert fold(expr) == ArrayRef("A", (IntLit(3),))
+
+    def test_folds_call_args(self):
+        expr = Call("F", (IntLit(1) + IntLit(1),))
+        assert fold(expr) == Call("F", (IntLit(2),))
+
+
+class TestSimplify:
+    def test_cancellation(self):
+        expr = (10 * j + i + 5 - 1) - 10 * j
+        assert str(simplify(expr)) == "i+4"
+
+    def test_collection(self):
+        expr = i + i + i
+        assert str(simplify(expr)) == "3*i"
+
+    def test_products_of_names(self):
+        expr = Name("I") * Name("KK") * Name("JJ")
+        assert str(simplify(expr)) in ("I*JJ*KK", "JJ*KK*I", "I*KK*JJ")
+
+    def test_non_affine_left_folded(self):
+        expr = Call("F", (i,)) + 0
+        assert simplify(expr) == Call("F", (i,))
+
+    def test_simplify_deep_in_subscripts(self):
+        expr = ArrayRef("A", (i + 1 - 1,))
+        assert simplify_deep(expr) == ArrayRef("A", (i,))
+
+    def test_constant_renders_last(self):
+        assert str(simplify(5 + i)) == "i+5"
+
+
+class TestPolyToExpr:
+    def test_roundtrip_values(self):
+        n = Poly.symbol("N")
+        poly = 3 * n * n - 2 * n + 7
+        expr = poly_to_expr(poly)
+        for value in (-3, 0, 1, 5):
+            assert evaluate_expr(expr, {"N": value}) == poly.evaluate(
+                {"N": value}
+            )
+
+    def test_zero(self):
+        assert poly_to_expr(Poly()) == IntLit(0)
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.integers(-9, 9).map(IntLit),
+                st.sampled_from([i, j]),
+            )
+        )
+    kind = draw(st.sampled_from(["leaf", "bin", "neg"]))
+    if kind == "leaf":
+        return draw(exprs(depth=0))
+    if kind == "neg":
+        return UnaryOp("-", draw(exprs(depth=depth - 1)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinOp(
+        op, draw(exprs(depth=depth - 1)), draw(exprs(depth=depth - 1))
+    )
+
+
+@given(exprs())
+@settings(max_examples=200)
+def test_fold_preserves_semantics(expr):
+    env = {"i": 3, "j": -2}
+    assert evaluate_expr(fold(expr), env) == evaluate_expr(expr, env)
+
+
+@given(exprs())
+@settings(max_examples=200)
+def test_simplify_preserves_semantics(expr):
+    env = {"i": 5, "j": -7}
+    assert evaluate_expr(simplify(expr), env) == evaluate_expr(expr, env)

@@ -1,0 +1,100 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.analysis import normalize_program
+from repro.frontend import parse_fortran
+from repro.ir import run_program
+from repro.ir.interp import InterpreterError
+
+
+def run(source, env=None, normalize=True):
+    program = parse_fortran(source)
+    if normalize:
+        program = normalize_program(program)
+    return run_program(program, env)
+
+
+class TestExecution:
+    def test_simple_loop(self):
+        store = run("REAL A(0:4)\nDO i = 0, 4\nA(i) = i * 2\nENDDO\n")
+        assert store.arrays["A"] == {(i,): 2 * i for i in range(5)}
+
+    def test_recurrence_order(self):
+        store = run("REAL D(0:5)\nDO i = 0, 4\nD(i+1) = D(i) + 1\nENDDO\n")
+        assert store.read("D", (5,)) == 5
+
+    def test_two_dimensional(self):
+        store = run(
+            """
+            REAL A(0:2,0:2)
+            DO 1 i = 0, 2
+            DO 1 j = 0, 2
+            1 A(i, j) = i + 10*j
+            """
+        )
+        assert store.read("A", (2, 1)) == 12
+
+    def test_scalar_assignment(self):
+        store = run("S = 3\nT = S + 4\n")
+        assert store.scalars["T"] == 7
+
+    def test_env_parameters(self):
+        store = run(
+            "REAL A(0:9)\nDO i = 0, N\nA(i) = Q\nENDDO\n",
+            env={"N": 3, "Q": 7},
+        )
+        assert store.arrays["A"] == {(i,): 7 for i in range(4)}
+
+    def test_unwritten_cells_default_zero(self):
+        store = run("REAL A(0:9), B(0:9)\nDO i = 0, 3\nA(i) = B(i+6)\nENDDO\n")
+        assert store.arrays["A"] == {(i,): 0 for i in range(4)}
+
+    def test_empty_loop_body_never_runs(self):
+        store = run("REAL A(0:9)\nDO i = 5, 4\nA(i) = 1\nENDDO\n", normalize=False)
+        assert "A" not in store.snapshot()
+
+    def test_stepped_loop_unnormalized(self):
+        store = run(
+            "REAL A(0:90)\nDO i = 0, 90, 10\nA(i) = 1\nENDDO\n",
+            normalize=False,
+        )
+        assert set(store.arrays["A"]) == {(i,) for i in range(0, 91, 10)}
+
+    def test_truncating_division(self):
+        store = run("S = 7 / 2\nT = 0 - 7\nU = T / 2\n")
+        assert store.scalars["S"] == 3
+        assert store.scalars["U"] == -3
+
+
+class TestErrors:
+    def test_missing_value(self):
+        with pytest.raises(InterpreterError):
+            run("S = UNKNOWN + 1\n")
+
+    def test_call_not_executable(self):
+        with pytest.raises(InterpreterError):
+            run("REAL A(0:9)\nA(1) = IFUN(2)\n")
+
+    def test_step_budget(self):
+        program = normalize_program(
+            parse_fortran("REAL A(0:9)\nDO i = 0, 999\nA(0) = i\nENDDO\n")
+        )
+        with pytest.raises(InterpreterError):
+            run_program(program, max_steps=10)
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError):
+            run("S = 1 / 0\n")
+
+
+class TestSnapshot:
+    def test_snapshot_excludes_empty(self):
+        store = run("S = 1\n")
+        assert store.snapshot() == {}
+
+    def test_snapshot_is_a_copy(self):
+        store = run("REAL A(0:9)\nA(1) = 5\n")
+        snap = store.snapshot()
+        snap["A"][(1,)] = 99
+        assert store.read("A", (1,)) == 5

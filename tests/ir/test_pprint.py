@@ -1,0 +1,86 @@
+"""Tests for IR pretty-printing, including parse round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import generate_program
+from repro.frontend import parse_fortran
+from repro.ir import format_program, format_statements
+
+
+class TestFormatting:
+    def test_declarations_first(self):
+        p = parse_fortran("REAL A(0:9)\nDO i = 0, 8\nA(i) = 1\nENDDO\n")
+        text = format_program(p)
+        assert text.startswith("REAL A(0:9)")
+
+    def test_loop_nesting_indented(self):
+        p = parse_fortran(
+            "DO 1 i = 0, 4\nDO 1 j = 0, 9\n1 C(i) = j\n"
+        )
+        lines = format_program(p).splitlines()
+        assert lines[0] == "DO i = 0, 4"
+        assert lines[1] == "  DO j = 0, 9"
+        assert lines[2].startswith("    C(i) = j")
+        assert lines[-1] == "ENDDO"
+
+    def test_labels_as_comments(self):
+        p = parse_fortran("A(1) = 2\n")
+        assert "! S1" in format_program(p)
+
+    def test_step_printed(self):
+        p = parse_fortran("DO i = 0, 90, 10\nX(i) = 1\nENDDO\n")
+        assert "DO i = 0, 90, 10" in format_program(p)
+
+    def test_equivalence_printed(self):
+        p = parse_fortran("REAL A(9)\nREAL B(9)\nEQUIVALENCE (A, B)\n")
+        assert "EQUIVALENCE (A, B)" in format_program(p)
+
+    def test_format_statements_only(self):
+        p = parse_fortran("REAL A(9)\nA(1) = 2\n")
+        text = format_statements(p.body)
+        assert "REAL" not in text
+        assert "A(1) = 2" in text
+
+
+class TestRoundTrip:
+    def assert_roundtrip(self, source: str) -> None:
+        first = parse_fortran(source)
+        text = format_program(first)
+        second = parse_fortran(text)
+        assert format_program(second) == text
+
+    def test_simple(self):
+        self.assert_roundtrip("REAL A(0:9)\nDO i = 0, 8\nA(i) = A(i+1)\nENDDO\n")
+
+    def test_figure3(self):
+        self.assert_roundtrip(
+            """
+            REAL X(200), Y(200), B(100)
+            REAL A(100,100), C(100,100)
+            DO 30 i = 1, 100
+            X(i) = Y(i) + 10
+            DO 20 j = 1, 99
+            B(j) = A(j,20)
+            DO 10 k = 1, 100
+            A(j+1,k) = B(j) + C(j,k)
+            10 CONTINUE
+            Y(i+j) = A(j+1,20)
+            20 CONTINUE
+            30 CONTINUE
+            """
+        )
+
+    def test_symbolic_bounds(self):
+        self.assert_roundtrip(
+            "REAL A(0:N*N-1)\nDO i = 0, N-1\nA(N*i) = A(i)\nENDDO\n"
+        )
+
+    @given(
+        st.integers(0, 6),
+        st.integers(0, 2**30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_corpus_roundtrips(self, nests, seed):
+        generated = generate_program("T", 20, nests, seed=seed)
+        self.assert_roundtrip(generated.source)

@@ -1,0 +1,115 @@
+"""Tests for assumption-based polynomial comparison."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import Assumptions, Poly
+
+N = Poly.symbol("N")
+M = Poly.symbol("M")
+
+
+class TestBasics:
+    def test_constant_decisions(self):
+        a = Assumptions.empty()
+        assert a.is_nonneg(5) is True
+        assert a.is_nonneg(0) is True
+        assert a.is_nonneg(-1) is None
+        assert a.is_pos(1) is True
+        assert a.is_pos(0) is None
+        assert a.is_neg(-3) is True
+
+    def test_unknown_symbol_blocks_proof(self):
+        a = Assumptions.empty()
+        assert a.is_nonneg(N) is None
+
+    def test_lower_bound_enables_proof(self):
+        a = Assumptions({"N": 0})
+        assert a.is_nonneg(N) is True
+        assert a.is_nonneg(N + 3) is True
+        assert a.is_nonneg(N - 1) is None
+
+    def test_with_bound_tightens_only(self):
+        a = Assumptions({"N": 5}).with_bound("N", 2)
+        assert a.lower_bound("N") == 5
+        b = Assumptions({"N": 2}).with_bound("N", 5)
+        assert b.lower_bound("N") == 5
+
+    def test_repr(self):
+        assert "N >= 1" in repr(Assumptions({"N": 1}))
+
+
+class TestPaperFacts:
+    """The exact inequalities the paper's symbolic example needs (section 4)."""
+
+    def setup_method(self):
+        self.a = Assumptions({"N": 1})
+
+    def test_n_minus_1_lt_n(self):
+        # "Since N-1 < N is true inequality for any N the barrier can be drawn"
+        assert self.a.is_lt(N - 1, N) is True
+
+    def test_n2_plus_n_le_n3_needs_n_ge_2(self):
+        # N^2 + N <= N^3 holds for N >= 2 but fails at N == 1.
+        assert self.a.is_le(N * N + N, N * N * N) is None
+        a2 = Assumptions({"N": 2})
+        assert a2.is_le(N * N + N, N * N * N) is True
+
+    def test_n2_minus_n_lt_n2(self):
+        # max(N, N(N-2)+N) = N^2 - N < N^2 (third iteration of the example).
+        assert self.a.is_lt(N * N - N, N * N) is True
+
+    def test_n2_ge_0(self):
+        assert self.a.is_nonneg(N * N) is True
+
+
+class TestSignAndAbs:
+    def test_sign(self):
+        a = Assumptions({"N": 1})
+        assert a.sign(Poly()) == 0
+        assert a.sign(Poly.const(-2)) == -1
+        assert a.sign(N) == 1
+        assert a.sign(-N) == -1
+        assert a.sign(N - 5) is None
+
+    def test_abs_poly(self):
+        a = Assumptions({"N": 1})
+        assert a.abs_poly(-N) == N
+        assert a.abs_poly(N) == N
+        assert a.abs_poly(N - 5) is None
+
+    def test_abs_le(self):
+        a = Assumptions({"N": 1})
+        assert a.abs_le(-N, N * N) is True
+        assert a.abs_le(N * N, N) is None  # not provable: false for N >= 2
+        assert a.abs_le(N - 5, N) is None  # unknown sign
+
+
+@given(
+    st.dictionaries(st.sampled_from(["N", "M"]), st.integers(-3, 5), min_size=2),
+    st.integers(-10, 10),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+)
+def test_is_nonneg_is_sound(bounds, c0, cn, cm):
+    """If the prover says p >= 0, then p >= 0 at every admissible point."""
+    a = Assumptions(bounds)
+    p = Poly.const(c0) + cn * N + cm * M * M
+    if a.is_nonneg(p) is not True:
+        return
+    for dn in range(4):
+        for dm in range(4):
+            point = {"N": bounds["N"] + dn, "M": bounds["M"] + dm}
+            assert p.evaluate(point) >= 0
+
+
+@given(st.integers(0, 6), st.integers(-20, 20), st.integers(-20, 20))
+def test_le_consistent_on_linear(lb, a1, b1):
+    """Provable a <= b implies truth at the bound and beyond."""
+    assume_n = Assumptions({"N": lb})
+    pa = a1 * N
+    pb = b1 * N
+    if assume_n.is_le(pa, pb) is True:
+        for d in range(5):
+            point = {"N": lb + d}
+            assert pa.evaluate(point) <= pb.evaluate(point)

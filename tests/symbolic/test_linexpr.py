@@ -1,0 +1,157 @@
+"""Tests for affine expressions over loop variables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import LinExpr, Poly, linear_combination
+
+N = Poly.symbol("N")
+i = LinExpr.var("i")
+j = LinExpr.var("j")
+
+
+class TestConstruction:
+    def test_var(self):
+        assert i.variables() == {"i"}
+        assert i.coeff("i") == Poly.const(1)
+
+    def test_const_expr(self):
+        e = LinExpr.const_expr(5)
+        assert e.is_constant()
+        assert e.const.as_int() == 5
+
+    def test_coerce(self):
+        assert LinExpr.coerce(3) == LinExpr.const_expr(3)
+        assert LinExpr.coerce(N) == LinExpr.const_expr(N)
+        with pytest.raises(TypeError):
+            LinExpr.coerce("i")
+
+    def test_zero_coeffs_dropped(self):
+        e = LinExpr({"i": 0, "j": 2})
+        assert e.variables() == {"j"}
+
+
+class TestArithmetic:
+    def test_linear_structure(self):
+        e = i + 10 * j + 5
+        assert e.coeff("i").as_int() == 1
+        assert e.coeff("j").as_int() == 10
+        assert e.const.as_int() == 5
+
+    def test_sub_cancels(self):
+        assert (i + j - i - j).is_zero()
+
+    def test_rsub(self):
+        e = 5 - i
+        assert e.coeff("i").as_int() == -1
+        assert e.const.as_int() == 5
+
+    def test_symbolic_coefficients(self):
+        e = N * N * LinExpr.var("k") + N * j + i
+        assert e.coeff("k") == N * N
+        assert e.symbols() == {"N"}
+        assert not e.is_integer_concrete()
+
+    def test_integer_concrete(self):
+        assert (i + 10 * j + 5).is_integer_concrete()
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        # i := k + 1 in (2i + j)
+        e = (2 * i + j).substitute_var("i", LinExpr.var("k") + 1)
+        assert e.coeff("k").as_int() == 2
+        assert e.coeff("j").as_int() == 1
+        assert e.const.as_int() == 2
+
+    def test_substitute_missing_is_noop(self):
+        e = i + 1
+        assert e.substitute_var("q", j) is e
+
+    def test_rename_vars(self):
+        e = (i + 10 * j).rename_vars({"i": "i1", "j": "j1"})
+        assert e.variables() == {"i1", "j1"}
+
+    def test_rename_merges(self):
+        e = (i + j).rename_vars({"i": "z", "j": "z"})
+        assert e.coeff("z").as_int() == 2
+
+    def test_subs_symbols(self):
+        e = N * i + N * N
+        concrete = e.subs_symbols({"N": 10})
+        assert concrete.coeff("i").as_int() == 10
+        assert concrete.const.as_int() == 100
+
+
+class TestEvaluate:
+    def test_evaluate(self):
+        e = i + 10 * j + 5
+        assert e.evaluate({"i": 2, "j": 3}) == 37
+
+    def test_evaluate_symbolic(self):
+        e = N * i + 1
+        assert e.evaluate({"i": 4}, {"N": 10}) == 41
+
+    def test_missing_variable(self):
+        with pytest.raises(KeyError):
+            (i + j).evaluate({"i": 1})
+
+
+class TestDisplay:
+    def test_str(self):
+        assert str(i + 10 * j + 5) == "i + 10*j + 5"
+        assert str(LinExpr()) == "0"
+        assert str(-i) == "-i"
+
+    def test_str_symbolic_coeff(self):
+        e = (N + 1) * i
+        assert str(e) == "(N + 1)*i"
+
+
+def test_linear_combination():
+    e = linear_combination([(2, i), (3, j + 1)])
+    assert e.coeff("i").as_int() == 2
+    assert e.coeff("j").as_int() == 3
+    assert e.const.as_int() == 3
+
+
+@given(
+    st.dictionaries(st.sampled_from(["i", "j", "k"]), st.integers(-9, 9)),
+    st.dictionaries(st.sampled_from(["i", "j", "k"]), st.integers(-9, 9)),
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+)
+def test_addition_is_pointwise(c1, c2, k1, k2):
+    e1 = LinExpr(c1, k1)
+    e2 = LinExpr(c2, k2)
+    point = {"i": 3, "j": -2, "k": 7}
+    assert (e1 + e2).evaluate(point) == e1.evaluate(point) + e2.evaluate(point)
+    assert (e1 - e2).evaluate(point) == e1.evaluate(point) - e2.evaluate(point)
+
+
+@given(
+    st.dictionaries(st.sampled_from(["i", "j"]), st.integers(-9, 9)),
+    st.integers(-20, 20),
+    st.integers(-6, 6),
+)
+def test_scalar_mul_is_pointwise(coeffs, const, factor):
+    e = LinExpr(coeffs, const)
+    point = {"i": 5, "j": -4}
+    assert (e * factor).evaluate(point) == factor * e.evaluate(point)
+
+
+@given(
+    st.dictionaries(st.sampled_from(["i", "j"]), st.integers(-9, 9)),
+    st.integers(-20, 20),
+    st.dictionaries(st.sampled_from(["k"]), st.integers(-9, 9)),
+    st.integers(-20, 20),
+)
+def test_substitution_semantics(coeffs, const, rep_coeffs, rep_const):
+    """substitute_var(i, r) evaluated == original with i bound to r's value."""
+    e = LinExpr(coeffs, const)
+    replacement = LinExpr(rep_coeffs, rep_const)
+    point = {"j": 2, "k": -3}
+    r_value = replacement.evaluate(point)
+    substituted = e.substitute_var("i", replacement)
+    assert substituted.evaluate(point) == e.evaluate({**point, "i": r_value})

@@ -1,0 +1,214 @@
+"""Unit tests for the integer polynomial substrate."""
+
+import pytest
+
+from repro.symbolic import Poly, poly_gcd, poly_gcd_many
+
+N = Poly.symbol("N")
+M = Poly.symbol("M")
+
+
+class TestConstruction:
+    def test_const(self):
+        assert Poly.const(5).as_int() == 5
+        assert Poly.const(0).is_zero()
+
+    def test_symbol(self):
+        assert str(N) == "N"
+        assert N.symbols() == {"N"}
+
+    def test_symbol_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            Poly.symbol("")
+
+    def test_coerce_int(self):
+        assert Poly.coerce(7) == Poly.const(7)
+
+    def test_coerce_poly_passthrough(self):
+        assert Poly.coerce(N) is N
+
+    def test_coerce_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Poly.coerce(True)
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(TypeError):
+            Poly.coerce(1.5)
+
+    def test_zero_coefficients_dropped(self):
+        assert (N - N).is_zero()
+        assert (N - N).term_count() == 0
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert N + 1 - 1 == N
+        assert 1 + N == N + 1
+
+    def test_mul_expands(self):
+        assert (N + 1) * (N - 1) == N * N - 1
+
+    def test_rsub(self):
+        assert 1 - N == -(N - 1)
+
+    def test_pow(self):
+        assert N ** 3 == N * N * N
+        assert N ** 0 == Poly.const(1)
+
+    def test_pow_rejects_negative(self):
+        with pytest.raises(ValueError):
+            N ** -1
+
+    def test_neg(self):
+        assert -(-N) == N
+
+    def test_multivariate(self):
+        p = (N + M) * (N - M)
+        assert p == N * N - M * M
+        assert p.symbols() == {"N", "M"}
+
+
+class TestInspection:
+    def test_degree(self):
+        assert Poly.const(7).degree() == 0
+        assert (N * N * M).degree() == 3
+        assert Poly().degree() == 0
+
+    def test_as_int_rejects_symbolic(self):
+        with pytest.raises(ValueError):
+            N.as_int()
+
+    def test_constant_term(self):
+        assert (N + 42).constant_term() == 42
+        assert N.constant_term() == 0
+
+    def test_content(self):
+        assert (6 * N + 9).content() == 3
+        assert Poly().content() == 0
+
+    def test_is_single_term(self):
+        assert (3 * N).is_single_term()
+        assert not (N + 1).is_single_term()
+
+    def test_monomial_factor(self):
+        p = N * N + N
+        assert Poly({p.monomial_factor(): 1}) == N
+
+
+class TestSubstitution:
+    def test_subs_int(self):
+        assert (N * N + N).subs({"N": 3}).as_int() == 12
+
+    def test_subs_poly(self):
+        assert N.subs({"N": M + 1}) == M + 1
+
+    def test_subs_partial(self):
+        p = N + M
+        assert p.subs({"N": 1}) == M + 1
+
+    def test_evaluate(self):
+        assert (N * M + 2).evaluate({"N": 3, "M": 4}) == 14
+
+    def test_evaluate_missing_symbol(self):
+        with pytest.raises(KeyError):
+            N.evaluate({})
+
+
+class TestDivision:
+    def test_divmod_single_integers(self):
+        q, r = Poly.const(-110).divmod_single(Poly.const(10))
+        assert (q.as_int(), r.as_int()) == (-11, 0)
+        q, r = Poly.const(-110).divmod_single(Poly.const(100))
+        # Matches Python divmod: remainder in [0, 100).
+        assert (q.as_int(), r.as_int()) == (-2, 90)
+
+    def test_divmod_single_symbolic(self):
+        # (N^2 + N) mod N == 0  (paper's symbolic example, iteration 2)
+        q, r = (N * N + N).divmod_single(N)
+        assert r.is_zero()
+        assert q == N + 1
+        # (N^2 + N) mod N^2 == N  (iteration 3)
+        q, r = (N * N + N).divmod_single(N * N)
+        assert r == N
+        assert q == Poly.const(1)
+
+    def test_divmod_single_mixed_coefficient(self):
+        # 17N = 1 * (10N) + 7N
+        q, r = (17 * N).divmod_single(10 * N)
+        assert q.as_int() == 1
+        assert r == 7 * N
+
+    def test_divmod_single_indivisible_monomial(self):
+        q, r = (M + 1).divmod_single(N)
+        assert q.is_zero()
+        assert r == M + 1
+
+    def test_divmod_rejects_multi_term_divisor(self):
+        with pytest.raises(ValueError):
+            N.divmod_single(N + 1)
+
+    def test_divmod_rejects_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            N.divmod_single(Poly.const(0))
+
+    def test_exact_div(self):
+        assert (10 * N + 20).exact_div(10) == N + 2
+        with pytest.raises(ValueError):
+            (10 * N + 5).exact_div(10)
+        with pytest.raises(ZeroDivisionError):
+            N.exact_div(0)
+
+
+class TestGcd:
+    def test_integer_gcd(self):
+        assert poly_gcd(100, 10).as_int() == 10
+        assert poly_gcd(12, 18).as_int() == 6
+
+    def test_symbolic_gcd(self):
+        assert poly_gcd(N * N, N) == N
+        assert poly_gcd(10 * N, 15 * N * N) == 5 * N
+
+    def test_gcd_with_zero(self):
+        assert poly_gcd(Poly(), 10 * N) == 10 * N
+        assert poly_gcd(0, 0).is_zero()
+
+    def test_gcd_divides_both(self):
+        g = poly_gcd(N * N + N, N)
+        # g == N and N divides both arguments' terms.
+        assert g == N
+
+    def test_gcd_many(self):
+        g = poly_gcd_many([Poly.const(100), Poly.const(10), Poly.const(1)])
+        assert g.as_int() == 1
+        g = poly_gcd_many([N * N, N * N * M])
+        assert g == N * N
+
+    def test_gcd_many_empty(self):
+        assert poly_gcd_many([]).is_zero()
+
+
+class TestDisplay:
+    def test_str_zero(self):
+        assert str(Poly()) == "0"
+
+    def test_str_ordering(self):
+        assert str(N * N + N + 1) == "N^2 + N + 1"
+
+    def test_str_negative_leading(self):
+        assert str(-N + 1) == "-N + 1"
+
+    def test_repr_roundtrip_info(self):
+        assert "N" in repr(N)
+
+
+class TestHashEq:
+    def test_eq_int(self):
+        assert Poly.const(3) == 3
+        assert not (Poly.const(3) == 4)
+
+    def test_hashable(self):
+        assert len({N, N, M}) == 2
+
+    def test_bool(self):
+        assert not Poly()
+        assert N

@@ -1,0 +1,118 @@
+"""Property-based tests for Poly, cross-checked against sympy as an oracle.
+
+The library itself never imports sympy; here it serves purely as a reference
+implementation for ring arithmetic.
+"""
+
+import sympy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, poly_gcd
+
+SYMBOLS = ["N", "M", "K"]
+
+
+@st.composite
+def polys(draw, max_terms=4, max_degree=3, max_coeff=50):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        mono_syms = draw(
+            st.lists(st.sampled_from(SYMBOLS), max_size=2, unique=True)
+        )
+        mono = tuple(
+            sorted((s, draw(st.integers(1, max_degree))) for s in mono_syms)
+        )
+        terms[mono] = draw(
+            st.integers(-max_coeff, max_coeff).filter(lambda c: c != 0)
+        )
+    return Poly(terms)
+
+
+def to_sympy(p: Poly):
+    expr = sympy.Integer(0)
+    for mono, coeff in p.terms.items():
+        term = sympy.Integer(coeff)
+        for sym, exp in mono:
+            term *= sympy.Symbol(sym) ** exp
+        expr += term
+    return sympy.expand(expr)
+
+
+@given(polys(), polys())
+def test_add_matches_sympy(a, b):
+    assert to_sympy(a + b) == sympy.expand(to_sympy(a) + to_sympy(b))
+
+
+@given(polys(), polys())
+def test_sub_matches_sympy(a, b):
+    assert to_sympy(a - b) == sympy.expand(to_sympy(a) - to_sympy(b))
+
+
+@given(polys(max_terms=3), polys(max_terms=3))
+@settings(max_examples=60)
+def test_mul_matches_sympy(a, b):
+    assert to_sympy(a * b) == sympy.expand(to_sympy(a) * to_sympy(b))
+
+
+@given(polys(max_terms=2, max_degree=2), st.integers(0, 3))
+@settings(max_examples=40)
+def test_pow_matches_sympy(a, e):
+    assert to_sympy(a ** e) == sympy.expand(to_sympy(a) ** e)
+
+
+@given(polys(), polys(), polys())
+def test_ring_axioms(a, b, c):
+    assert a + b == b + a
+    assert (a + b) + c == a + (b + c)
+    assert a * b == b * a
+    assert a * (b + c) == a * b + a * c
+    assert a + Poly() == a
+    assert a * Poly.const(1) == a
+    assert (a - a).is_zero()
+
+
+@given(polys(), polys())
+def test_gcd_divides_arguments(a, b):
+    g = poly_gcd(a, b)
+    if g.is_zero():
+        assert a.is_zero() and b.is_zero()
+        return
+    for p in (a, b):
+        _, r = p.divmod_single(g)
+        assert r.is_zero(), f"gcd {g} must divide {p}"
+
+
+@given(polys(), st.integers(1, 40))
+def test_divmod_single_reconstructs(p, divisor):
+    q, r = p.divmod_single(Poly.const(divisor))
+    assert q * divisor + r == p
+    # Every remainder coefficient is a canonical Python remainder.
+    assert all(0 <= c < divisor for c in r.terms.values())
+
+
+@given(polys(), polys(max_terms=1))
+def test_divmod_single_term_reconstructs(p, g):
+    if g.is_zero():
+        return
+    q, r = p.divmod_single(g)
+    assert q * g + r == p
+
+
+@given(
+    polys(max_terms=3, max_degree=2),
+    st.dictionaries(st.sampled_from(SYMBOLS), st.integers(-5, 5), min_size=3),
+)
+def test_evaluate_matches_sympy(p, values):
+    got = p.evaluate(values)
+    expected = to_sympy(p).subs({sympy.Symbol(s): v for s, v in values.items()})
+    assert got == int(expected)
+
+
+@given(polys(), st.dictionaries(st.sampled_from(SYMBOLS), st.integers(-4, 4)))
+def test_subs_consistent_with_evaluate(p, partial):
+    substituted = p.subs(partial)
+    full = {s: 2 for s in SYMBOLS}
+    point = dict(full)
+    point.update(partial)
+    assert substituted.evaluate(full) == p.evaluate(point)

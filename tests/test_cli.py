@@ -1,0 +1,203 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+INTRO = """
+REAL C(0:99)
+DO 1 i = 0, 4
+DO 1 j = 0, 9
+1 C(i+10*j) = C(i+10*j+5)
+"""
+
+C_SOURCE = """
+float d[100];
+float *i, *j;
+for (j = d; j <= d + 90; j += 10)
+    for (i = j; i < j + 5; i++)
+        *i = *(i + 5);
+"""
+
+
+@pytest.fixture
+def fortran_file(tmp_path):
+    path = tmp_path / "intro.f"
+    path.write_text(INTRO)
+    return path
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "walk.c"
+    path.write_text(C_SOURCE)
+    return path
+
+
+class TestAnalyze:
+    def test_independent_program(self, fortran_file, capsys):
+        assert main(["analyze", str(fortran_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Pair of references" in out
+
+    def test_c_language_inferred(self, c_file, capsys):
+        assert main(["analyze", str(c_file)]) == 0
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.f")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestVectorize:
+    def test_doall_output(self, fortran_file, capsys):
+        assert main(["vectorize", str(fortran_file)]) == 0
+        out = capsys.readouterr().out
+        assert "DOALL i" in out
+
+    def test_report_flag(self, fortran_file, capsys):
+        assert main(["vectorize", str(fortran_file), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "dependences: 0" in out
+
+    def test_c_pipeline(self, c_file, capsys):
+        assert main(["vectorize", str(c_file)]) == 0
+        out = capsys.readouterr().out
+        assert "DOALL" in out
+
+
+class TestVectorizeEmitC:
+    def test_c_output(self, fortran_file, capsys):
+        assert main(["vectorize", str(fortran_file), "--emit", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma parallel for" in out
+        assert "C[i + 10 * j]" in out
+
+
+class TestCheck:
+    def test_clean_program(self, fortran_file, capsys):
+        assert main(["check", str(fortran_file)]) == 0
+        assert "no problems" in capsys.readouterr().out
+
+    def test_warning_program(self, tmp_path, capsys):
+        path = tmp_path / "warn.f"
+        path.write_text("REAL A(0:9)\nDO i = 0, 9\nA(i+5) = 1\nENDDO\n")
+        assert main(["check", str(path)]) == 0
+        assert "overrun" in capsys.readouterr().out
+
+    def test_error_program_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.f"
+        path.write_text("REAL A(0:9,0:9)\nDO i = 0, 9\nA(i) = 1\nENDDO\n")
+        assert main(["check", str(path)]) == 2
+
+
+class TestCensus:
+    def test_counts(self, fortran_file, capsys):
+        assert main(["census", str(fortran_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 of 1" in out
+
+
+class TestDelinearize:
+    def test_independent_verdict(self, capsys):
+        code = main(
+            [
+                "delinearize",
+                "--equation",
+                "i1 + 10*j1 - i2 - 10*j2 - 5",
+                "--bounds",
+                "i1=4,i2=4,j1=9,j2=9",
+                "--pairs",
+                "i1:i2,j1:j2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict:  independent" in out
+        assert "k=1:" in out
+
+    def test_dependent_with_directions(self, capsys):
+        main(
+            [
+                "delinearize",
+                "--equation",
+                "i1 - i2 + 1",
+                "--bounds",
+                "i1=8,i2=8",
+                "--pairs",
+                "i1:i2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "direction vectors: (<)" in out
+        assert "distance-direction: (+1)" in out
+
+    def test_symbolic_with_assumptions(self, capsys):
+        code = main(
+            [
+                "delinearize",
+                "--equation",
+                "N*i1 - N*i2 - N",
+                "--bounds",
+                "i1=N-1,i2=N-1",
+                "--pairs",
+                "i1:i2",
+                "--assume",
+                "N=2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+
+    def test_bad_equation(self, capsys):
+        assert (
+            main(
+                [
+                    "delinearize",
+                    "--equation",
+                    "i1 * i2",
+                    "--bounds",
+                    "i1=4,i2=4",
+                ]
+            )
+            == 1
+        )
+
+    def test_bad_binding(self, capsys):
+        assert (
+            main(
+                [
+                    "delinearize",
+                    "--equation",
+                    "i1",
+                    "--bounds",
+                    "i1=",
+                ]
+            )
+            == 1
+        )
+
+
+class TestCompare:
+    def test_table(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--equation",
+                "i1 + 10*j1 - i2 - 10*j2 - 5",
+                "--bounds",
+                "i1=4,i2=4,j1=9,j2=9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GCD test" in out
+        assert "Delinearization" in out
+        assert "independent" in out
+
+
+class TestRiceps:
+    def test_table(self, capsys):
+        assert main(["riceps", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "BOAST" in out and "29" in out

@@ -1,0 +1,87 @@
+"""Tests for the end-to-end compilation driver."""
+
+from repro.driver import analyzed_source, compile_c, compile_fortran
+
+
+class TestFortranPipeline:
+    def test_intro_example(self):
+        report = compile_fortran(
+            """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+            """
+        )
+        assert report.dependence_count == 0
+        assert report.vectorized_statements == ["S1"]
+        assert "DOALL" in report.output
+        assert "dependence-analysis" in report.phases
+
+    def test_equivalence_phase_runs(self):
+        report = compile_fortran(
+            """
+            REAL A(0:9,0:9)
+            REAL B(0:4,0:19)
+            EQUIVALENCE (A, B)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 A(i, j) = B(i, 2*j+1)
+            """
+        )
+        assert "linearize-aliases" in report.phases
+        assert report.dependence_count == 0
+        assert "_stor1" in analyzed_source(report)
+
+    def test_induction_phase_runs(self):
+        report = compile_fortran(
+            """
+            IB = -1
+            DO 1 I = 0, 5
+            DO 1 J = 0, 3
+            IB = IB + 1
+            1 B(IB) = B(IB) + Q
+            """
+        )
+        assert "induction-variables" in report.phases
+        assert report.vectorized_statements  # B fully parallel
+
+    def test_phases_can_be_disabled(self):
+        source = """
+            IB = -1
+            DO 1 I = 0, 5
+            IB = IB + 1
+            1 B(IB) = B(IB) + Q
+        """
+        without = compile_fortran(source, substitute_ivs=False)
+        assert "induction-variables" not in without.phases
+        assert without.vectorized_statements == []
+
+    def test_summary_text(self):
+        report = compile_fortran("REAL D(0:9)\nDO i = 0, 8\nD(i+1) = D(i)\nENDDO\n")
+        text = report.summary()
+        assert "language: fortran" in text
+        assert "serial statements: S1" in text
+
+
+class TestCPipeline:
+    def test_pointer_example(self):
+        report = compile_c(
+            """
+            float d[100];
+            float *i, *j;
+            for (j = d; j <= d + 90; j += 10)
+                for (i = j; i < j + 5; i++)
+                    *i = *(i + 5);
+            """
+        )
+        assert "pointer-conversion" in report.phases
+        assert report.dependence_count == 0
+        assert report.vectorized_statements == ["S1"]
+
+    def test_plain_c(self):
+        report = compile_c(
+            "float x[10]; int i; for (i = 0; i < 9; i++) x[i+1] = x[i];"
+        )
+        assert "pointer-conversion" not in report.phases
+        assert report.serial_statements == ["S1"]

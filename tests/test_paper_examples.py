@@ -1,0 +1,252 @@
+"""Integration suite: every program fragment the paper shows, end to end.
+
+One test per fragment, in order of appearance.  These tests pin the
+reproduction to the paper's stated outcomes; the benchmark harness then
+regenerates the corresponding tables and traces.
+"""
+
+from repro import (
+    Verdict,
+    analyze_dependences,
+    delinearize,
+    emit_program,
+    parse_fortran,
+    vectorize,
+)
+from repro.driver import compile_c, compile_fortran
+
+
+class TestSection1Intro:
+    def test_recurrence_d_i_plus_1(self):
+        """D(i+1) = D(i)*Q: iterations cannot run in parallel."""
+        graph = analyze_dependences(
+            parse_fortran("REAL D(0:9)\nDO 1 i = 0, 8\n1 D(i+1) = D(i) * Q\n")
+        )
+        assert len(graph.edges) == 1
+        assert graph.edges[0].kind == "flow"
+        plan = vectorize(graph)
+        assert plan.fully_serial_statements() == ["S1"]
+
+    def test_independent_d_shift_5(self):
+        """D(i) = D(i+5)*Q, i in [0,4]: iterations can run in parallel."""
+        graph = analyze_dependences(
+            parse_fortran("REAL D(0:9)\nDO 1 i = 0, 4\n1 D(i) = D(i+5) * Q\n")
+        )
+        assert graph.edges == []
+        plan = vectorize(graph)
+        assert plan.vectorized_statements() == ["S1"]
+
+    def test_equation_1_program(self):
+        """C(i+10*j) = C(i+10*j+5): the central example."""
+        report = compile_fortran(
+            """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+            """
+        )
+        assert report.dependence_count == 0
+        assert "DOALL i" in report.output and "DOALL j" in report.output
+
+    def test_mhl91_distance_2_0(self):
+        graph = analyze_dependences(
+            parse_fortran(
+                """
+                REAL A(200)
+                DO 10 i = 1, 8
+                DO 10 j = 1, 10
+                10 A(10*i+j) = A(10*(i+2)+j) + 7
+                """
+            )
+        )
+        (edge,) = graph.edges
+        assert str(edge.distance) == "(+2, 0)"
+
+    def test_boast_induction_fragment(self):
+        report = compile_fortran(
+            """
+            IB = -1
+            DO 1 I = 0, 10
+            DO 1 J = 0, 7
+            DO 1 K = 0, 5
+            IB = IB + 1
+            C(J) = C(J) + 1
+            1 B(IB) = B(IB) + Q
+            """
+        )
+        assert "induction-variables" in report.phases
+        b_plan = next(
+            p for p in report.plan.plan if "B(" in str(p.stmt.lhs)
+        )
+        assert b_plan.vector_levels == (1, 2, 3)
+
+    def test_equivalence_2d(self):
+        report = compile_fortran(
+            """
+            REAL A(0:9,0:9)
+            REAL B(0:4,0:19)
+            EQUIVALENCE (A, B)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 A(i, j) = B(i, 2*j+1)
+            """
+        )
+        assert "linearize-aliases" in report.phases
+        assert report.dependence_count == 0
+
+    def test_equivalence_4d_partial(self):
+        """The 4-D variant: only i/j linearized, k stays, IFUN is opaque."""
+        from repro.analysis import partially_linearize
+
+        program = parse_fortran(
+            """
+            REAL A(0:9,0:9,0:9,0:9)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            DO 1 k = 0, 9
+            DO 1 l = 0, 9
+            1 A(i, 2*j, k, IFUN(10)) = A(i, j, k, l)
+            """
+        )
+        partial = partially_linearize(program, "A", 2)
+        graph = analyze_dependences(partial)
+        # The IFUN dimension is unknown but the linearized i/j dimension and
+        # the k dimension are analyzable: dependences survive (j coupling),
+        # but the analysis must not give up entirely.
+        assert all(not e.assumed for e in graph.edges)
+
+    def test_c_pointer_walk(self):
+        report = compile_c(
+            """
+            float d[100];
+            float *i, *j;
+            for (j = d; j <= d + 90; j += 10)
+                for (i = j; i < j + 5; i++)
+                    *i = *(i + 5);
+            """
+        )
+        assert report.dependence_count == 0
+        assert report.vectorized_statements == ["S1"]
+
+
+class TestSection2Background:
+    def test_direction_distance_example(self):
+        """A(i,j) = A(2i, j+1) over i in [0,5], j in [0,8]."""
+        graph = analyze_dependences(
+            parse_fortran(
+                """
+                REAL A(0:20,0:20)
+                DO 1 i = 0, 5
+                DO 1 j = 0, 8
+                1 A(i, j) = A(2*i, j+1)
+                """
+            )
+        )
+        assert graph.edges
+        for edge in graph.edges:
+            # The j-level distance is the constant 1 in every dependence.
+            assert str(edge.distance).endswith("+1)")
+
+    def test_figure3_six_paper_rows(self):
+        graph = analyze_dependences(
+            parse_fortran(
+                """
+                REAL X(200), Y(200), B(100)
+                REAL A(100,100), C(100,100)
+                DO 30 i = 1, 100
+                X(i) = Y(i) + 10
+                DO 20 j = 1, 99
+                B(j) = A(j,20)
+                DO 10 k = 1, 100
+                A(j+1,k) = B(j) + C(j,k)
+                10 CONTINUE
+                Y(i+j) = A(j+1,20)
+                20 CONTINUE
+                30 CONTINUE
+                """
+            )
+        )
+        pairs = {
+            (e.source.stmt.label, e.sink.stmt.label, e.source.ref.array)
+            for e in graph.edges
+        }
+        for expected in [
+            ("S2", "S2", "B"),
+            ("S2", "S3", "B"),
+            ("S3", "S3", "A"),
+            ("S3", "S2", "A"),
+            ("S3", "S4", "A"),
+            ("S4", "S1", "Y"),
+        ]:
+            assert expected in pairs, expected
+
+
+class TestSection3Algorithm:
+    def test_figure5_trace_equation(self):
+        from repro.deptests import DependenceProblem
+
+        problem = DependenceProblem.single(
+            {"k1": 100, "k2": -100, "j1": 10, "i2": -10, "i1": 1, "j2": -1},
+            -110,
+            {"i1": 8, "i2": 8, "j1": 9, "j2": 9, "k1": 8, "k2": 8},
+        )
+        result = delinearize(problem)
+        assert result.verdict is Verdict.DEPENDENT
+        assert result.dimensions_found == 3
+
+
+class TestSection4Symbolics:
+    def test_symbolic_program_end_to_end(self):
+        """The N*N*k + N*j + i program with symbolic bounds."""
+        from repro import Assumptions
+
+        report = compile_fortran(
+            """
+            REAL A(0:N*N*N-1)
+            DO 1 i = 0, N-2
+            DO 1 j = 0, N-1
+            DO 1 k = 0, N-2
+            1 A(N*N*k+N*j+i) = A(N*N*k+j+N*i+N*N+N)
+            """,
+            assumptions=Assumptions({"N": 3}),
+        )
+        # One dependence pair with exact k-distance of 1 (the recovered
+        # dimensions mean A(i,j,k) = A(j, i+1, k+1)); the statement cannot
+        # be fully parallel.
+        assert report.dependence_count >= 1
+        assert any(
+            edge.distance is not None and str(edge.distance).endswith("+1)")
+            for edge in report.graph.edges
+        )
+        plan = report.plan.statement_plan("S1")
+        assert plan.serial_levels  # at least the k-carried level serializes
+
+
+class TestConclusionClaims:
+    def test_on_the_fly_sharpness(self):
+        """Verdict at least as sharp as GCD+Banerjee per dimension, E2E."""
+        from repro.deptests import DependenceProblem, gcd_banerjee_test
+
+        problem = DependenceProblem.single(
+            {"a": 2, "b": -2, "c": 20, "d": -20},
+            -30,
+            {"a": 4, "b": 4, "c": 9, "d": 9},
+            pairs=[("a", "b"), ("c", "d")],
+        )
+        # Per-dimension: 2a-2b-10=0 solvable, 20c-20d-20=0 solvable; but
+        # combined GCD/Banerjee also pass; delinearization must match or
+        # beat them.
+        if gcd_banerjee_test(problem) is Verdict.INDEPENDENT:
+            assert delinearize(problem).verdict is Verdict.INDEPENDENT
+
+    def test_whole_pipeline_emits_vector_code(self):
+        report = compile_fortran(
+            """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+            """
+        )
+        assert "DOALL" in emit_program(report.plan)

@@ -1,0 +1,105 @@
+"""Tests for FORTRAN-90 emission: array sections, DOALL fallback."""
+
+from repro.depgraph import analyze_dependences
+from repro.frontend import parse_fortran
+from repro.vectorizer import emit_program, vectorize
+
+
+def emitted(source):
+    return emit_program(vectorize(analyze_dependences(parse_fortran(source))))
+
+
+class TestSections:
+    def test_simple_section(self):
+        text = emitted("REAL D(0:9), E(0:9)\nDO i = 0, 9\nD(i) = E(i)\nENDDO\n")
+        assert "D(0:9) = E(0:9)" in text
+
+    def test_offset_section(self):
+        text = emitted("REAL D(0:20), E(0:20)\nDO i = 0, 9\nD(i+3) = E(i)\nENDDO\n")
+        assert "D(3:12) = E(0:9)" in text
+
+    def test_strided_section(self):
+        text = emitted(
+            "REAL D(0:40), E(0:40)\nDO i = 0, 9\nD(2*i) = E(2*i+1)\nENDDO\n"
+        )
+        assert "D(0:18:2) = E(1:19:2)" in text
+
+    def test_two_dimensional_sections(self):
+        text = emitted(
+            """
+            REAL A(0:9,0:9), B(0:9,0:9)
+            DO 1 i = 0, 9
+            DO 1 j = 0, 9
+            1 A(i, j) = B(j, i)
+        """
+        )
+        assert "A(0:9, 0:9) = B(0:9, 0:9)" in text
+
+    def test_scalar_broadcast(self):
+        text = emitted("REAL D(0:9)\nDO i = 0, 9\nD(i) = Q\nENDDO\n")
+        assert "D(0:9) = Q" in text
+
+    def test_negative_stride_normalized(self):
+        text = emitted(
+            "REAL D(0:9), E(0:9)\nDO i = 0, 9\nD(9-i) = E(i)\nENDDO\n"
+        )
+        # Descending subscript renders as a reversed range with stride -1,
+        # preserving the element pairing D(9)=E(0), ..., D(0)=E(9).
+        assert "D(9:0:-1) = E(0:9)" in text
+
+
+class TestDoallFallback:
+    def test_linearized_subscript_uses_doall(self):
+        text = emitted(
+            """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+        """
+        )
+        assert "DOALL i = 0, 4" in text
+        assert "DOALL j = 0, 9" in text
+        assert "C(i+10*j)" in text
+
+    def test_loop_variable_outside_subscript_uses_doall(self):
+        # X(i) = i: the RHS use of i cannot be a section.
+        text = emitted("REAL X(0:9)\nDO i = 0, 9\nX(i) = i\nENDDO\n")
+        assert "DOALL i" in text
+
+    def test_mixed_section_and_doall(self):
+        # One subscript linearized (i and j), one clean: the clean loop is
+        # still a DOALL because i appears in the coupled position.
+        text = emitted(
+            """
+            REAL C(0:99,0:9)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j, j) = C(i+10*j+5, j)
+        """
+        )
+        assert "DOALL i" in text
+
+
+class TestStructure:
+    def test_serial_loops_stay_do(self):
+        text = emitted("REAL D(0:9)\nDO i = 0, 8\nD(i+1) = D(i)\nENDDO\n")
+        assert "DO i = 0, 8" in text
+        assert "DOALL" not in text
+
+    def test_distribution_emits_separate_constructs(self):
+        text = emitted(
+            """
+            REAL A(0:100), B(0:100)
+            DO i = 1, 99
+              A(i) = A(i) + 1
+              B(i) = A(i) * 2
+            ENDDO
+        """
+        )
+        assert text.count("ENDDO") == 0  # both fully vectorized
+        assert "A(1:99)" in text and "B(1:99)" in text
+
+    def test_declarations_preserved(self):
+        text = emitted("REAL D(0:9)\nDO i = 0, 9\nD(i) = 1\nENDDO\n")
+        assert text.startswith("REAL D(0:9)")

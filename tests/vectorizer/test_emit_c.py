@@ -1,0 +1,73 @@
+"""Tests for the C-with-pragmas emitter (the Vector C backend role)."""
+
+import pytest
+
+from repro.depgraph import analyze_dependences
+from repro.frontend import parse_fortran
+from repro.vectorizer import CEmissionError, emit_c_program, vectorize
+
+
+def emitted(source):
+    graph = analyze_dependences(parse_fortran(source))
+    return emit_c_program(vectorize(graph))
+
+
+class TestEmission:
+    def test_parallel_loop_pragma(self):
+        text = emitted(
+            "REAL D(0:9)\nDO i = 0, 4\nD(i) = D(i+5)\nENDDO\n"
+        )
+        assert "#pragma parallel for" in text
+        assert "for (int i = 0; i <= 4; i++) {" in text
+        assert "D[i] = D[i + 5];" in text
+
+    def test_serial_loop_plain_for(self):
+        text = emitted("REAL D(0:9)\nDO i = 0, 8\nD(i+1) = D(i)\nENDDO\n")
+        assert "#pragma" not in text
+        assert "for (int i = 0; i <= 8; i++) {" in text
+
+    def test_declarations(self):
+        text = emitted("REAL D(0:9)\nDO i = 0, 9\nD(i) = 1\nENDDO\n")
+        assert "float D[10];" in text
+
+    def test_lower_bound_shift(self):
+        # FORTRAN 1-based X(200) becomes C 0-based X[200] with shifted
+        # subscripts.
+        text = emitted("REAL X(200)\nDO i = 1, 100\nX(i) = 1\nENDDO\n")
+        assert "float X[200];" in text
+        assert "X[i]" in text  # normalization already rebased i
+
+    def test_integer_type(self):
+        text = emitted("INTEGER K(0:9)\nDO i = 0, 9\nK(i) = i\nENDDO\n")
+        assert "int K[10];" in text
+
+    def test_nested_parallel(self):
+        text = emitted(
+            """
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            1 C(i+10*j) = C(i+10*j+5)
+        """
+        )
+        assert text.count("#pragma parallel for") == 2
+        assert "C[i + 10 * j]" in text
+
+    def test_symbolic_extent_rejected(self):
+        graph = analyze_dependences(
+            parse_fortran("REAL A(0:N-1)\nDO i = 0, 5\nA(i) = 1\nENDDO\n")
+        )
+        with pytest.raises(CEmissionError):
+            emit_c_program(vectorize(graph))
+
+    def test_two_dimensional(self):
+        text = emitted(
+            """
+            REAL A(1:4,1:6)
+            DO 1 i = 1, 4
+            DO 1 j = 1, 6
+            1 A(i, j) = A(i, j) + 1
+        """
+        )
+        assert "float A[4][6];" in text
+        assert "A[i][j]" in text

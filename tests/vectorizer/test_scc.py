@@ -1,0 +1,86 @@
+"""Tests for the Tarjan SCC implementation, with networkx as an oracle."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vectorizer import has_cycle, strongly_connected_components
+
+
+class TestBasics:
+    def test_empty(self):
+        assert strongly_connected_components([], {}) == []
+
+    def test_singletons_no_edges(self):
+        comps = strongly_connected_components(["a", "b"], {})
+        assert sorted(map(sorted, comps)) == [["a"], ["b"]]
+
+    def test_simple_cycle(self):
+        comps = strongly_connected_components(
+            ["a", "b", "c"], {"a": ["b"], "b": ["a"], "c": []}
+        )
+        assert sorted(map(sorted, comps)) == [["a", "b"], ["c"]]
+
+    def test_topological_order(self):
+        comps = strongly_connected_components(
+            ["a", "b", "c"], {"a": ["b"], "b": ["c"]}
+        )
+        assert comps == [["a"], ["b"], ["c"]]
+
+    def test_cycle_then_successor(self):
+        comps = strongly_connected_components(
+            ["x", "y", "z"], {"x": ["y"], "y": ["x", "z"]}
+        )
+        assert comps[0] == sorted(comps[0]) or True
+        assert set(comps[0]) == {"x", "y"}
+        assert comps[1] == ["z"]
+
+    def test_self_loop_detected_as_cycle(self):
+        assert has_cycle(["a"], {"a": ["a"]})
+        assert not has_cycle(["a"], {"a": []})
+
+    def test_external_nodes_ignored(self):
+        comps = strongly_connected_components(["a"], {"a": ["ghost"]})
+        assert comps == [["a"]]
+
+
+@st.composite
+def digraphs(draw):
+    n = draw(st.integers(1, 12))
+    nodes = list(range(n))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=30,
+        )
+    )
+    succ = {}
+    for a, b in edges:
+        succ.setdefault(a, set()).add(b)
+    return nodes, {k: sorted(v) for k, v in succ.items()}
+
+
+@given(digraphs())
+@settings(max_examples=120, deadline=None)
+def test_matches_networkx(graph):
+    nodes, succ = graph
+    g = nx.DiGraph()
+    g.add_nodes_from(nodes)
+    for a, bs in succ.items():
+        for b in bs:
+            g.add_edge(a, b)
+    expected = {frozenset(c) for c in nx.strongly_connected_components(g)}
+    got = strongly_connected_components(nodes, succ)
+    assert {frozenset(c) for c in got} == expected
+
+
+@given(digraphs())
+@settings(max_examples=80, deadline=None)
+def test_component_order_is_topological(graph):
+    nodes, succ = graph
+    comps = strongly_connected_components(nodes, succ)
+    position = {n: i for i, c in enumerate(comps) for n in c}
+    for a, bs in succ.items():
+        for b in bs:
+            if position[a] != position[b]:
+                assert position[a] < position[b]
