@@ -1,0 +1,7 @@
+! The paper equation (1) program (Section 1): a linearized 2-d access
+! pattern.  Delinearization separates i and j and proves the references
+! independent, where the GCD test and Banerjee inequalities both fail.
+      REAL C(0:99)
+      DO 1 i = 0, 4
+      DO 1 j = 0, 9
+1     C(i + 10*j) = C(i + 10*j + 5)

@@ -1,0 +1,7 @@
+! The triple nest from the paper Section 5 discussion (MHL91 example):
+! a three-dimensional access linearized through A(100*i + 10*j + k).
+      REAL A(0:999)
+      DO 1 i = 0, 9
+      DO 1 j = 0, 9
+      DO 1 k = 1, 9
+1     A(100*i + 10*j + k) = A(100*i + 10*j + k - 1) + 1

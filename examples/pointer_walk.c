@@ -1,0 +1,8 @@
+/* The paper's C pointer-traversal example (Section 6): a pointer walked
+ * in steps of 10 over a 100-element array, with a dereference offset of 5.
+ * Pointer conversion rewrites the loop to an integer index, after which
+ * delinearization applies as usual. */
+float d[100];
+float *j;
+for (j = d; j <= d + 90; j += 10)
+    *j = *(j + 5);

@@ -1,0 +1,5 @@
+! A forward shift by 5 inside a single loop: a genuine dependence with
+! constant distance 5 (direction < at level 1).
+      REAL A(0:99)
+      DO 1 i = 0, 94
+1     A(i + 5) = A(i) + 1

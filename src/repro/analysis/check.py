@@ -6,36 +6,28 @@ and this requirement is unknown to majority of users") — dependence
 analysis is only meaningful for conforming programs.  This checker reports
 the violations it can decide statically:
 
-* references whose rank disagrees with the declaration;
-* affine subscripts whose value range provably leaves the declared bounds
-  (using the rectangularized iteration space);
-* loop variables that shadow an outer loop's variable;
-* loops whose (constant) ranges are empty.
+* references whose rank disagrees with the declaration (``DL002``);
+* affine subscripts whose value range provably leaves the declared bounds,
+  using the rectangularized iteration space (``DL003``/``DL004``/``DL005``);
+* loop variables that shadow an outer loop's variable (``DL006``);
+* loops whose (constant) ranges are empty (``DL007``).
 
 Diagnostics are advisory: analysis remains sound for conforming programs,
-and the checker is how a user finds out their program is not one.
+and the checker is how a user finds out their program is not one.  Findings
+are :class:`repro.lint.Diagnostic` values — coded, severity-tagged and
+anchored to source spans when the program came from text — and are returned
+in a deterministic order (by span, then code).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..ir import Loop, Program, to_linexpr, to_poly
+from ..lint import codes
+from ..lint.diagnostics import Diagnostic, sort_diagnostics
 from ..symbolic import Assumptions, Poly
 from .normalize import rectangular_bounds
 
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One checker finding."""
-
-    severity: str  # "error" | "warning"
-    statement: str | None
-    message: str
-
-    def __str__(self) -> str:
-        where = f" at {self.statement}" if self.statement else ""
-        return f"{self.severity}{where}: {self.message}"
+__all__ = ["Diagnostic", "check_program"]
 
 
 def check_program(
@@ -54,11 +46,12 @@ def check_program(
                 continue  # implicit array: nothing known to check against
             if ref.rank != decl.rank:
                 diagnostics.append(
-                    Diagnostic(
-                        "error",
-                        stmt.label,
+                    Diagnostic.make(
+                        codes.DL002,
                         f"{ref}: rank {ref.rank} does not match declared "
                         f"rank {decl.rank} of {decl.name}",
+                        statement=stmt.label,
+                        span=stmt.span,
                     )
                 )
                 continue
@@ -66,7 +59,7 @@ def check_program(
                 zip(ref.subscripts, decl.dims), start=1
             ):
                 _check_subscript_range(
-                    stmt.label,
+                    stmt,
                     ref,
                     dim_index,
                     sub,
@@ -76,7 +69,7 @@ def check_program(
                     assumptions,
                     diagnostics,
                 )
-    return diagnostics
+    return sort_diagnostics(diagnostics)
 
 
 def _check_loops(
@@ -87,26 +80,26 @@ def _check_loops(
             continue
         if stmt.var in active:
             diagnostics.append(
-                Diagnostic(
-                    "error",
-                    None,
+                Diagnostic.make(
+                    codes.DL006,
                     f"loop variable {stmt.var} shadows an enclosing loop",
+                    span=stmt.span,
                 )
             )
         upper = to_poly(stmt.upper)
         if upper is not None and upper.is_constant() and upper.as_int() < 0:
             diagnostics.append(
-                Diagnostic(
-                    "warning",
-                    None,
+                Diagnostic.make(
+                    codes.DL007,
                     f"loop {stmt.var}: empty range (upper bound {upper})",
+                    span=stmt.span,
                 )
             )
         _check_loops(stmt.body, active | {stmt.var}, diagnostics)
 
 
 def _check_subscript_range(
-    label: str | None,
+    stmt,
     ref,
     dim_index: int,
     sub,
@@ -141,29 +134,32 @@ def _check_subscript_range(
         upper_decl, minimum
     ):
         diagnostics.append(
-            Diagnostic(
-                "error",
-                label,
+            Diagnostic.make(
+                codes.DL003,
                 f"{ref}: dimension {dim_index} never intersects its "
                 f"declared bounds {dim}",
+                statement=stmt.label,
+                span=stmt.span,
             )
         )
         return
     if assumptions.is_lt(minimum, lower_decl):
         diagnostics.append(
-            Diagnostic(
-                "warning",
-                label,
+            Diagnostic.make(
+                codes.DL004,
                 f"{ref}: dimension {dim_index} can underrun its declared "
                 f"bounds {dim} (minimum {minimum})",
+                statement=stmt.label,
+                span=stmt.span,
             )
         )
     if assumptions.is_lt(upper_decl, maximum):
         diagnostics.append(
-            Diagnostic(
-                "warning",
-                label,
+            Diagnostic.make(
+                codes.DL005,
                 f"{ref}: dimension {dim_index} can overrun its declared "
                 f"bounds {dim} (maximum {maximum})",
+                statement=stmt.label,
+                span=stmt.span,
             )
         )

@@ -160,6 +160,7 @@ def substitute_induction_variables(program: Program) -> Program:
                             substitute_name(stmt.rhs, iv.name, replacement)
                         ),
                         stmt.label,
+                        span=stmt.span,
                     )
                 )
             else:
@@ -219,10 +220,11 @@ def _deep_copy_stmts(stmts: list[Stmt]) -> list[Stmt]:
                     stmt.upper,
                     _deep_copy_stmts(stmt.body),
                     stmt.step,
+                    span=stmt.span,
                 )
             )
         elif isinstance(stmt, Assignment):
-            out.append(Assignment(stmt.lhs, stmt.rhs, stmt.label))
+            out.append(Assignment(stmt.lhs, stmt.rhs, stmt.label, span=stmt.span))
         else:
             raise TypeError(f"unknown statement {type(stmt).__name__}")
     return out

@@ -363,7 +363,10 @@ def _rewrite_with(stmts: list[Stmt], rewrite_expr) -> list[Stmt]:
         if isinstance(stmt, Assignment):
             out.append(
                 Assignment(
-                    rewrite_expr(stmt.lhs), rewrite_expr(stmt.rhs), stmt.label
+                    rewrite_expr(stmt.lhs),
+                    rewrite_expr(stmt.rhs),
+                    stmt.label,
+                    span=stmt.span,
                 )
             )
         elif isinstance(stmt, Loop):
@@ -374,6 +377,7 @@ def _rewrite_with(stmts: list[Stmt], rewrite_expr) -> list[Stmt]:
                     rewrite_expr(stmt.upper),
                     _rewrite_with(stmt.body, rewrite_expr),
                     stmt.step,
+                    span=stmt.span,
                 )
             )
         else:

@@ -55,7 +55,7 @@ def _normalize_stmts(stmts: list[Stmt]) -> list[Stmt]:
         if isinstance(stmt, Loop):
             out.append(_normalize_loop(stmt))
         elif isinstance(stmt, Assignment):
-            out.append(Assignment(stmt.lhs, stmt.rhs, stmt.label))
+            out.append(Assignment(stmt.lhs, stmt.rhs, stmt.label, span=stmt.span))
         else:
             raise TypeError(f"unknown statement {type(stmt).__name__}")
     return out
@@ -75,7 +75,10 @@ def _normalize_loop(loop: Loop) -> Loop:
         and step.value == 1
     )
     if is_trivial:
-        return Loop(loop.var, loop.lower, fold(loop.upper), body, IntLit(1))
+        return Loop(
+            loop.var, loop.lower, fold(loop.upper), body, IntLit(1),
+            span=loop.span,
+        )
     # v_old = lower + step * v_new;  v_new in [0, (upper - lower) / step].
     replacement = fold(
         BinOp("+", loop.lower, BinOp("*", step, _var(loop.var)))
@@ -86,7 +89,9 @@ def _normalize_loop(loop: Loop) -> Loop:
     new_body: list[Stmt] = []
     for stmt in body:
         new_body.append(_substitute_stmt(stmt, loop.var, replacement))
-    return Loop(loop.var, IntLit(0), new_upper, new_body, IntLit(1))
+    return Loop(
+        loop.var, IntLit(0), new_upper, new_body, IntLit(1), span=loop.span
+    )
 
 
 def _substitute_stmt(stmt: Stmt, name: str, replacement: Expr) -> Stmt:
@@ -95,6 +100,7 @@ def _substitute_stmt(stmt: Stmt, name: str, replacement: Expr) -> Stmt:
             simplify_deep(substitute_name(stmt.lhs, name, replacement)),
             simplify_deep(substitute_name(stmt.rhs, name, replacement)),
             stmt.label,
+            span=stmt.span,
         )
     if isinstance(stmt, Loop):
         if stmt.var == name:
@@ -108,6 +114,7 @@ def _substitute_stmt(stmt: Stmt, name: str, replacement: Expr) -> Stmt:
             simplify(substitute_name(stmt.upper, name, replacement)),
             [_substitute_stmt(s, name, replacement) for s in stmt.body],
             stmt.step,
+            span=stmt.span,
         )
     raise TypeError(f"unknown statement {type(stmt).__name__}")
 

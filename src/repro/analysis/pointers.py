@@ -80,6 +80,7 @@ class _Converter:
                         self.convert_expr(stmt.lhs, pointer_bases),
                         self.convert_expr(stmt.rhs, pointer_bases),
                         stmt.label,
+                        span=stmt.span,
                     )
                 )
             else:
@@ -99,13 +100,14 @@ class _Converter:
             lower = self.strip_base(loop.lower, base, pointer_bases)
             upper = self.strip_base(loop.upper, base, pointer_bases)
             body = self.convert_stmts(loop.body, pointer_bases)
-            return Loop(loop.var, lower, upper, body, loop.step)
+            return Loop(loop.var, lower, upper, body, loop.step, span=loop.span)
         return Loop(
             loop.var,
             self.convert_expr(loop.lower, pointer_bases),
             self.convert_expr(loop.upper, pointer_bases),
             self.convert_stmts(loop.body, pointer_bases),
             loop.step,
+            span=loop.span,
         )
 
     def base_array_of(

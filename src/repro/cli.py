@@ -4,6 +4,8 @@ Commands:
 
 * ``analyze <file>``   — print the dependence table of a program;
 * ``vectorize <file>`` — print the vectorized program;
+* ``lint <file>``      — coded diagnostics (semantic checks, dataflow,
+  delinearization soundness audit) with ``--format=json`` and ``--werror``;
 * ``census <file>``    — count loop nests containing linearized references;
 * ``delinearize``      — run the algorithm on one dependence equation given
   with ``--equation`` and ``--bounds`` (prints the Figure-5 style trace);
@@ -68,6 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_source_args(check)
     check.set_defaults(handler=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint",
+        help="full diagnostics: semantic checks, dataflow, soundness audit",
+    )
+    _add_source_args(lint)
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--werror",
+        action="store_true",
+        help="treat warnings as errors (exit 2 on any warning)",
+    )
+    lint.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the delinearization soundness audit (DS codes)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     census = sub.add_parser(
         "census", help="count loop nests with linearized references"
@@ -180,6 +205,32 @@ def _cmd_check(args) -> int:
     if not diagnostics:
         print("no problems found")
     return 0 if not any(d.severity == "error" for d in diagnostics) else 2
+
+
+def _cmd_lint(args) -> int:
+    from .lint import render_json, render_text
+    from .lint.engine import lint_source
+
+    source = args.file.read_text()
+    report = lint_source(
+        source,
+        language=_language_of(args),
+        assumptions=_parse_assumptions(args.assume),
+        audit=not args.no_audit,
+    )
+    if args.format == "json":
+        print(render_json(report.diagnostics, filename=str(args.file)))
+    else:
+        if report.diagnostics:
+            print(render_text(report.diagnostics, filename=str(args.file)))
+        summary = (
+            f"{report.error_count} error(s), "
+            f"{report.warning_count} warning(s)"
+        )
+        if not args.no_audit and report.program is not None:
+            summary += f", {report.audited_pairs} dependence edge(s) audited"
+        print(summary)
+    return 2 if report.fails(werror=args.werror) else 0
 
 
 def _cmd_census(args) -> int:

@@ -39,6 +39,8 @@ from ..dirvec.vectors import (
     summarize,
 )
 from ..ir import Program, RefContext, collect_refs
+from ..lint.audit import audit_result
+from ..lint.diagnostics import Diagnostic, sort_diagnostics
 from ..symbolic import Assumptions, Poly
 
 
@@ -73,6 +75,9 @@ class DependenceGraph:
 
     program: Program
     edges: list[Dependence] = field(default_factory=list)
+    #: Soundness-auditor findings (``DS`` codes); populated when the graph
+    #: was built with ``audit=True`` and empty on a clean audit.
+    audit_diagnostics: list[Diagnostic] = field(default_factory=list)
 
     def between(self, source_label: str, sink_label: str) -> list[Dependence]:
         return [
@@ -143,8 +148,14 @@ def analyze_dependences(
     assumptions: Assumptions | None = None,
     include_input: bool = False,
     normalized: bool = False,
+    audit: bool = False,
 ) -> DependenceGraph:
-    """Build the dependence graph of a program using delinearization."""
+    """Build the dependence graph of a program using delinearization.
+
+    With ``audit=True`` every delinearization outcome is independently
+    re-verified by the soundness auditor (:mod:`repro.lint.audit`); findings
+    land in :attr:`DependenceGraph.audit_diagnostics`.
+    """
     assumptions = assumptions or Assumptions.empty()
     analyzed = program if normalized else normalize_program(program)
     bounds = rectangular_bounds(analyzed)
@@ -167,8 +178,10 @@ def analyze_dependences(
                 if first is second and not first.is_write:
                     continue  # self input dependences are meaningless
                 _analyze_pair(
-                    graph, first, second, bounds, assumptions, order
+                    graph, first, second, bounds, assumptions, order, audit
                 )
+    if audit:
+        graph.audit_diagnostics = sort_diagnostics(graph.audit_diagnostics)
     return graph
 
 
@@ -179,12 +192,25 @@ def _analyze_pair(
     bounds: dict[str, Poly],
     assumptions: Assumptions,
     order: dict[str, int],
+    audit: bool = False,
 ) -> None:
     pair = build_pair_problem(first, second, bounds, assumptions)
     if pair.problem is None:
         _add_assumed_edges(graph, first, second, pair)
         return
-    result = delinearize(pair.problem)
+    result = delinearize(pair.problem, keep_trace=audit)
+    if audit:
+        graph.audit_diagnostics.extend(
+            audit_result(
+                pair.problem,
+                result,
+                statement=(
+                    f"{first.stmt.label}:{first.ref.array} / "
+                    f"{second.stmt.label}:{second.ref.array}"
+                ),
+                span=first.stmt.span,
+            )
+        )
     if result.verdict is Verdict.INDEPENDENT:
         return
     forward: set[DirVec] = set()

@@ -22,6 +22,7 @@ from .analysis.pointers import convert_pointers
 from .depgraph import DependenceGraph, analyze_dependences
 from .frontend import parse_c, parse_fortran
 from .ir import Program, format_program
+from .lint.diagnostics import Diagnostic
 from .symbolic import Assumptions
 from .vectorizer import VectorizationResult, emit_program, vectorize
 
@@ -41,6 +42,12 @@ class CompilationReport:
     @property
     def dependence_count(self) -> int:
         return len(self.graph.edges)
+
+    @property
+    def audit_diagnostics(self) -> list[Diagnostic]:
+        """Soundness-auditor findings (empty unless compiled with audit=True
+        — and, with it, empty again unless the analyzer has a bug)."""
+        return self.graph.audit_diagnostics
 
     @property
     def vectorized_statements(self) -> list[str]:
@@ -66,8 +73,13 @@ def compile_fortran(
     assumptions: Assumptions | None = None,
     substitute_ivs: bool = True,
     linearize_aliases: bool = True,
+    audit: bool = False,
 ) -> CompilationReport:
-    """Run the whole pipeline on FORTRAN source text."""
+    """Run the whole pipeline on FORTRAN source text.
+
+    ``audit=True`` re-verifies every delinearization outcome through the
+    soundness auditor; findings appear in ``report.audit_diagnostics``.
+    """
     phases = ["parse"]
     program = parse_fortran(source)
     program = normalize_program(program)
@@ -85,9 +97,11 @@ def compile_fortran(
         program = linearize_common(program)
         phases.append("linearize-common")
     graph = analyze_dependences(
-        program, assumptions=assumptions, normalized=True
+        program, assumptions=assumptions, normalized=True, audit=audit
     )
     phases.append("dependence-analysis")
+    if audit:
+        phases.append("soundness-audit")
     plan = vectorize(graph)
     phases.append("vectorize")
     return CompilationReport(
@@ -98,8 +112,10 @@ def compile_fortran(
 def compile_c(
     source: str,
     assumptions: Assumptions | None = None,
+    audit: bool = False,
 ) -> CompilationReport:
-    """Run the whole pipeline on C source text."""
+    """Run the whole pipeline on C source text (see :func:`compile_fortran`
+    for the ``audit`` flag)."""
     phases = ["parse"]
     program, info = parse_c(source)
     if info.pointers:
@@ -108,9 +124,11 @@ def compile_c(
     program = normalize_program(program)
     phases.append("normalize")
     graph = analyze_dependences(
-        program, assumptions=assumptions, normalized=True
+        program, assumptions=assumptions, normalized=True, audit=audit
     )
     phases.append("dependence-analysis")
+    if audit:
+        phases.append("soundness-audit")
     plan = vectorize(graph)
     phases.append("vectorize")
     return CompilationReport(

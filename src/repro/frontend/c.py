@@ -40,6 +40,7 @@ from ..ir import (
     Loop,
     Name,
     Program,
+    Span,
     Stmt,
     UnaryOp,
 )
@@ -100,11 +101,14 @@ class _CParser:
             return []
         if self.ts.at_keyword("for"):
             return [self.parse_for()]
+        opening = self.ts.peek()
         if self.ts.accept(OP, "{"):
             block: list[Stmt] = []
             while not self.ts.at(OP, "}"):
                 if self.ts.at_eof():
-                    raise ParseError("unterminated block")
+                    raise ParseError(
+                        "unterminated block", opening.line, opening.column
+                    )
                 block.extend(self.parse_statement())
             self.ts.expect(OP, "}")
             return block
@@ -139,15 +143,20 @@ class _CParser:
         self.ts.expect(OP, ";")
 
     def parse_for(self) -> Loop:
-        self.ts.next()  # for
+        keyword = self.ts.next()  # for
         self.ts.expect(OP, "(")
         init_var = self.ts.expect(IDENT).text
         self.ts.expect(OP, "=")
         lower = self.parse_expr()
         self.ts.expect(OP, ";")
-        cond_var = self.ts.expect(IDENT).text
+        cond_token = self.ts.expect(IDENT)
+        cond_var = cond_token.text
         if cond_var != init_var:
-            raise ParseError(f"for condition tests {cond_var!r}, not {init_var!r}")
+            raise ParseError(
+                f"for condition tests {cond_var!r}, not {init_var!r}",
+                cond_token.line,
+                cond_token.column,
+            )
         op_token = self.ts.next()
         if op_token.text not in ("<", "<="):
             raise ParseError(
@@ -158,28 +167,39 @@ class _CParser:
         bound = self.parse_expr()
         upper = bound if op_token.text == "<=" else _sub_one(bound)
         self.ts.expect(OP, ";")
-        update_var = self.ts.expect(IDENT).text
+        update_token = self.ts.expect(IDENT)
+        update_var = update_token.text
         if update_var != init_var:
-            raise ParseError(f"for update changes {update_var!r}, not {init_var!r}")
+            raise ParseError(
+                f"for update changes {update_var!r}, not {init_var!r}",
+                update_token.line,
+                update_token.column,
+            )
         step: Expr = IntLit(1)
         if self.ts.accept(OP, "++"):
             pass
         elif self.ts.accept(OP, "+="):
             step = self.parse_expr()
         else:
-            raise ParseError("for update must be v++ or v += step")
+            bad = self.ts.peek()
+            raise ParseError(
+                "for update must be v++ or v += step", bad.line, bad.column
+            )
         self.ts.expect(OP, ")")
         body = self.parse_statement()
-        return Loop(init_var, lower, upper, body, step)
+        return Loop(init_var, lower, upper, body, step, span=Span.at(keyword))
 
     def parse_assignment(self) -> Assignment:
+        start = self.ts.peek()
         lhs = self.parse_unary()
         if not isinstance(lhs, (ArrayRef, Name, Deref)):
-            raise ParseError(f"cannot assign to {lhs}")
+            raise ParseError(
+                f"cannot assign to {lhs}", start.line, start.column
+            )
         self.ts.expect(OP, "=")
         rhs = self.parse_expr()
         self.ts.expect(OP, ";")
-        return Assignment(lhs, rhs)
+        return Assignment(lhs, rhs, span=Span.at(start))
 
     # -- expressions ---------------------------------------------------------------
 

@@ -33,6 +33,7 @@ from ..ir import (
     Loop,
     Name,
     Program,
+    Span,
     Stmt,
     UnaryOp,
 )
@@ -72,7 +73,12 @@ class _FortranParser:
         if self.loop_stack:
             loop, label = self.loop_stack[-1]
             terminator = f"label {label}" if label else "ENDDO"
-            raise ParseError(f"DO {loop.var} never closed (missing {terminator})")
+            where = loop.span or Span(0, 0)
+            raise ParseError(
+                f"DO {loop.var} never closed (missing {terminator})",
+                where.line,
+                where.column,
+            )
         return self.program
 
     def parse_line(self) -> None:
@@ -86,22 +92,26 @@ class _FortranParser:
             self.parse_common()
             return
         label = None
+        label_token = None
         if self.ts.at(INT):
-            label = self.ts.next().text
+            label_token = self.ts.next()
+            label = label_token.text
         if self.ts.at_keyword("DO") and not self._is_assignment_to("DO"):
             self.parse_do()
             return
         if self.ts.at_keyword("ENDDO"):
-            self.ts.next()
+            token = self.ts.next()
             self.ts.expect_end_of_line()
-            self.close_enddo()
+            self.close_enddo(token)
             return
         if self.ts.at_keyword("CONTINUE"):
-            self.ts.next()
+            token = self.ts.next()
             self.ts.expect_end_of_line()
             if label is None:
-                raise ParseError("CONTINUE without a label")
-            self.close_label(label)
+                raise ParseError(
+                    "CONTINUE without a label", token.line, token.column
+                )
+            self.close_label(label, label_token)
             return
         if self.ts.at_keyword("END") and self.ts.peek(1).kind in (NEWLINE, EOF):
             self.ts.next()
@@ -162,7 +172,7 @@ class _FortranParser:
         return ArrayDim(IntLit(1), first)
 
     def parse_equivalence(self) -> None:
-        self.ts.next()  # EQUIVALENCE
+        keyword = self.ts.next()  # EQUIVALENCE
         self.ts.expect(OP, "(")
         names = [self.ts.expect(IDENT).text]
         while self.ts.accept(OP, ","):
@@ -170,7 +180,11 @@ class _FortranParser:
         self.ts.expect(OP, ")")
         self.ts.expect_end_of_line()
         if len(names) < 2:
-            raise ParseError("EQUIVALENCE needs at least two arrays")
+            raise ParseError(
+                "EQUIVALENCE needs at least two arrays",
+                keyword.line,
+                keyword.column,
+            )
         self.program.equivalences.append(Equivalence(tuple(names)))
 
     def parse_common(self) -> None:
@@ -190,7 +204,7 @@ class _FortranParser:
     # -- loops -------------------------------------------------------------------
 
     def parse_do(self) -> None:
-        self.ts.next()  # DO
+        keyword = self.ts.next()  # DO
         label = self.ts.next().text if self.ts.at(INT) else None
         var = self.ts.expect(IDENT).text
         self.ts.expect(OP, "=")
@@ -201,23 +215,29 @@ class _FortranParser:
         if self.ts.accept(OP, ","):
             step = self.parse_expr()
         self.ts.expect_end_of_line()
-        loop = Loop(var, lower, upper, [], step)
+        loop = Loop(var, lower, upper, [], step, span=Span.at(keyword))
         self.append_stmt(loop)
         self.loop_stack.append((loop, label))
 
-    def close_enddo(self) -> None:
+    def close_enddo(self, token: Token) -> None:
         if not self.loop_stack or self.loop_stack[-1][1] is not None:
-            raise ParseError("ENDDO without matching DO")
+            raise ParseError(
+                "ENDDO without matching DO", token.line, token.column
+            )
         self.loop_stack.pop()
 
-    def close_label(self, label: str) -> None:
+    def close_label(self, label: str, token: Token | None = None) -> None:
         """Close every open loop terminated by ``label`` (shared labels)."""
         closed = False
         while self.loop_stack and self.loop_stack[-1][1] == label:
             self.loop_stack.pop()
             closed = True
         if not closed:
-            raise ParseError(f"label {label} does not terminate any open DO")
+            raise ParseError(
+                f"label {label} does not terminate any open DO",
+                token.line if token else None,
+                token.column if token else None,
+            )
 
     def append_stmt(self, stmt: Stmt) -> None:
         if self.loop_stack:
@@ -228,15 +248,18 @@ class _FortranParser:
     # -- statements -----------------------------------------------------------------
 
     def parse_assignment(self, label: str | None) -> None:
+        start = self.ts.peek()
         lhs = self.parse_primary(lvalue=True)
         if not isinstance(lhs, (ArrayRef, Name)):
-            raise ParseError(f"cannot assign to {lhs}")
+            raise ParseError(
+                f"cannot assign to {lhs}", start.line, start.column
+            )
         self.ts.expect(OP, "=")
         rhs = self.parse_expr()
         self.ts.expect_end_of_line()
-        self.append_stmt(Assignment(lhs, rhs))
+        self.append_stmt(Assignment(lhs, rhs, span=Span.at(start)))
         if label is not None:
-            self.close_label(label)
+            self.close_label(label, start)
 
     # -- expressions -------------------------------------------------------------------
 

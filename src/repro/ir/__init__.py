@@ -33,6 +33,7 @@ from .nodes import (
 )
 from .interp import InterpreterError, Store, run_program
 from .pprint import format_program, format_statements
+from .span import Span
 
 __all__ = [
     "ArrayDecl",
@@ -51,6 +52,7 @@ __all__ = [
     "Name",
     "Program",
     "RefContext",
+    "Span",
     "Stmt",
     "Store",
     "UnaryOp",

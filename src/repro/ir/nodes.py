@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from .expr import ArrayRef, Expr, IntLit, Name
+from .span import Span
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,7 @@ class Assignment(Stmt):
     lhs: Expr  # ArrayRef or Name
     rhs: Expr
     label: str | None = None  # statement id, e.g. "S1"; assigned by Program
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def refs(self) -> list[tuple[ArrayRef, bool]]:
         """All array references with a writes? flag (lhs True, rhs False)."""
@@ -124,6 +126,7 @@ class Loop(Stmt):
     upper: Expr
     body: list[Stmt] = field(default_factory=list)
     step: Expr = field(default_factory=lambda: IntLit(1))
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         head = f"DO {self.var} = {self.lower}, {self.upper}"

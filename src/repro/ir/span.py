@@ -1,0 +1,36 @@
+"""Source spans: positions threaded from the lexer into IR nodes.
+
+A :class:`Span` records where a construct appeared in the original source
+text (1-based line and column, with an optional inclusive end position).
+The frontends stamp spans onto :class:`~repro.ir.nodes.Loop` and
+:class:`~repro.ir.nodes.Assignment` nodes as they parse; transformations
+preserve the span of the statement they rewrite.  Diagnostics
+(:mod:`repro.lint.diagnostics`) carry spans so every finding points back at
+source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A source location: 1-based line/column, optional inclusive end."""
+
+    line: int
+    column: int
+    end_line: int | None = None
+    end_column: int | None = None
+
+    @classmethod
+    def at(cls, token) -> "Span":
+        """The span of a single lexer token (anything with line/column)."""
+        return cls(token.line, token.column)
+
+    def until(self, token) -> "Span":
+        """Extend this span to end at ``token``'s position."""
+        return Span(self.line, self.column, token.line, token.column)
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"

@@ -1,0 +1,62 @@
+"""Static analysis and self-auditing for the delinearization pipeline.
+
+Three pillars:
+
+* :mod:`repro.lint.diagnostics` — structured, coded, span-carrying
+  diagnostics with text and JSON renderers;
+* :mod:`repro.lint.dataflow` — a CFG + worklist fixed-point framework over
+  the loop-nest IR with reaching definitions, use-def chains,
+  uninitialized-read detection and loop-invariance classification;
+* :mod:`repro.lint.audit` — the delinearization soundness auditor, which
+  independently re-verifies every dimension barrier, verdict and
+  direction-vector set the analyzer produces.
+
+:mod:`repro.lint.engine` ties them together behind ``lint_source`` (the
+``repro lint`` CLI subcommand).  It is loaded lazily because it imports
+:mod:`repro.analysis`, which itself emits :class:`Diagnostic` values.
+"""
+
+from . import codes
+from .audit import audit_problem, audit_result
+from .dataflow import (
+    build_cfg,
+    invariant_symbols,
+    reaching_definitions,
+    run_dataflow_checks,
+)
+from .diagnostics import (
+    Diagnostic,
+    max_severity,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "audit_problem",
+    "audit_result",
+    "build_cfg",
+    "codes",
+    "invariant_symbols",
+    "lint_source",
+    "max_severity",
+    "reaching_definitions",
+    "render_json",
+    "render_text",
+    "run_dataflow_checks",
+    "sort_diagnostics",
+]
+
+_LAZY = {"lint_source", "LintReport"}
+
+
+def __getattr__(name: str):
+    # engine imports repro.analysis (which imports this package to build its
+    # diagnostics), so it must load on first use, not at import time.
+    if name in _LAZY:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

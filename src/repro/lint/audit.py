@@ -1,0 +1,414 @@
+"""The delinearization soundness auditor (``DS`` diagnostics).
+
+The delinearization algorithm is intricate: it reorders coefficients,
+maintains running extremes, picks remainder representatives and draws
+dimension barriers.  A bug in any of those steps would silently produce a
+wrong verdict — the worst failure mode for a dependence analyzer, because an
+incorrect INDEPENDENT licenses an illegal loop transformation.
+
+This module re-verifies every :class:`DelinearizationResult` through
+*independent* machinery:
+
+* **DS001** — every dimension barrier recorded in the Figure-5 trace is
+  re-checked against theorem condition (8) via :mod:`repro.core.theorem`'s
+  direct checker (:func:`make_candidate` / :func:`condition_holds`), replaying
+  the running constant ``c0`` from the trace itself;
+* **DS005** — for concrete equations that were fully separated, the product
+  of the groups' solution counts must equal the equation's own solution
+  count (the theorem's Cartesian-product claim), checked by enumeration;
+* **DS002** — the verdict is compared against exhaustive enumeration on
+  small concrete problems (ground truth);
+* **DS003** — a DEPENDENT/MAYBE verdict is cross-checked against the GCD and
+  Banerjee baselines: a baseline proving INDEPENDENT where delinearization
+  claims DEPENDENT is an internal inconsistency;
+* **DS004** — every direction vector realized by an actual solution must be
+  covered by the reported direction-vector set.
+
+Any DS diagnostic indicates a bug in the analyzer, never in the input
+program.  The auditor never imports :mod:`repro.depgraph` (which imports it),
+only :mod:`repro.core`, :mod:`repro.deptests` and :mod:`repro.symbolic`.
+"""
+
+from __future__ import annotations
+
+from itertools import product as _iterproduct
+
+from ..core.delinearize import DelinearizationResult, TraceRow, delinearize
+from ..core.theorem import condition_holds, head_extremes, make_candidate
+from ..deptests import banerjee_test, exhaustive_test, gcd_test
+from ..deptests.exhaustive import exhaustive_direction_vectors
+from ..deptests.problem import DependenceProblem, Verdict
+from ..dirvec.vectors import DirVec
+from ..ir.span import Span
+from ..symbolic import LinExpr, Poly
+from . import codes
+from .diagnostics import Diagnostic
+
+#: Default enumeration budget: audits stay exact but cheap.
+DEFAULT_EXHAUSTIVE_LIMIT = 20_000
+
+
+def audit_problem(
+    problem: DependenceProblem,
+    *,
+    statement: str | None = None,
+    span: Span | None = None,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+) -> tuple[DelinearizationResult, list[Diagnostic]]:
+    """Run delinearization with a trace and audit the outcome."""
+    result = delinearize(problem, keep_trace=True)
+    diags = audit_result(
+        problem,
+        result,
+        statement=statement,
+        span=span,
+        exhaustive_limit=exhaustive_limit,
+    )
+    return result, diags
+
+
+def audit_result(
+    problem: DependenceProblem,
+    result: DelinearizationResult,
+    *,
+    statement: str | None = None,
+    span: Span | None = None,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+) -> list[Diagnostic]:
+    """All soundness checks over one delinearization outcome.
+
+    The result must have been produced with ``keep_trace=True`` for the
+    barrier re-verification (DS001) and group-conservation (DS005) checks;
+    without a trace only the verdict-level checks run.
+    """
+    diags: list[Diagnostic] = []
+    segments = _split_trace(result.trace)
+    for index, rows in enumerate(segments):
+        if index >= len(problem.equations):
+            diags.append(
+                _make(
+                    codes.DS001,
+                    f"trace has {len(segments)} equation segments, problem "
+                    f"has {len(problem.equations)} equations",
+                    statement,
+                    span,
+                )
+            )
+            break
+        equation = problem.equations[index]
+        diags.extend(
+            _audit_equation_trace(
+                equation, problem, rows, index, statement, span
+            )
+        )
+        diags.extend(
+            _audit_group_conservation(
+                equation, problem, rows, index, statement, span,
+                exhaustive_limit,
+            )
+        )
+    diags.extend(
+        _audit_verdict(problem, result, statement, span, exhaustive_limit)
+    )
+    return diags
+
+
+# -- DS001: barrier replay ----------------------------------------------------
+
+
+def _split_trace(trace: list[TraceRow]) -> list[list[TraceRow]]:
+    """Per-equation segments: ``k`` restarts at 1 for each equation."""
+    segments: list[list[TraceRow]] = []
+    for row in trace:
+        if row.k == 1 or not segments:
+            segments.append([])
+        segments[-1].append(row)
+    return segments
+
+
+def _is_barrier(row: TraceRow) -> bool:
+    return (
+        row.separated is not None
+        or row.note.startswith("empty group")
+        or row.note.startswith("independent")
+    )
+
+
+def _audit_equation_trace(
+    equation: LinExpr,
+    problem: DependenceProblem,
+    rows: list[TraceRow],
+    index: int,
+    statement: str | None,
+    span: Span | None,
+) -> list[Diagnostic]:
+    """Replay the trace of one equation, re-verifying every barrier."""
+    assumptions = problem.assumptions
+    bounds = {name: var.upper for name, var in problem.variables.items()}
+    diags: list[Diagnostic] = []
+
+    # Reconstruct the coefficient order the scan used and cross-check it
+    # against the equation: a trace that talks about other coefficients is
+    # not a trace of this equation.
+    order: list[str] = []
+    for row in rows:
+        if row.var is None:
+            continue
+        order.append(row.var)
+        actual = equation.coeff(row.var)
+        if row.coeff is not None and actual != row.coeff:
+            diags.append(
+                _make(
+                    codes.DS001,
+                    f"equation {index}: trace coefficient {row.coeff} for "
+                    f"{row.var} does not match the equation's {actual}",
+                    statement,
+                    span,
+                )
+            )
+
+    c0 = equation.const
+    group_start = 0
+    for row in rows:
+        if not _is_barrier(row):
+            continue
+        k_idx = row.k - 1  # 0-based scan position of this check
+        r = row.separated.const if row.separated is not None else row.r
+        if r is None:
+            continue  # defensive: malformed row, nothing to replay
+        if row.separated is not None:
+            for name, coeff in row.separated.coeffs.items():
+                if equation.coeff(name) != coeff:
+                    diags.append(
+                        _make(
+                            codes.DS001,
+                            f"equation {index}: separated group coefficient "
+                            f"{coeff}*{name} does not match the equation's "
+                            f"{equation.coeff(name)}*{name}",
+                            statement,
+                            span,
+                        )
+                    )
+        head_vars = order[group_start:k_idx]
+        residual_vars = order[group_start:]
+        known = set(bounds)
+        if any(v not in known for v in residual_vars):
+            continue  # coefficient-order mismatch already reported above
+        residual = LinExpr(
+            {v: equation.coeff(v) for v in residual_vars}, c0
+        )
+        candidate = make_candidate(residual, bounds, head_vars, r)
+        if not condition_holds(candidate, assumptions):
+            diags.append(
+                _make(
+                    codes.DS001,
+                    f"equation {index}: barrier at k={row.k} "
+                    f"(d0={r}, head={head_vars or '[]'}) fails re-verified "
+                    f"theorem condition (8)",
+                    statement,
+                    span,
+                )
+            )
+        if row.note.startswith("independent: 0 not in"):
+            extremes = head_extremes(candidate.head, candidate.d0, assumptions)
+            proven = extremes is not None and bool(
+                assumptions.is_pos(extremes[0])
+                or assumptions.is_neg(extremes[1])
+            )
+            if not proven:
+                diags.append(
+                    _make(
+                        codes.DS001,
+                        f"equation {index}: independence claim at k={row.k} "
+                        f"(0 outside [cmin, cmax]) is not reproducible",
+                        statement,
+                        span,
+                    )
+                )
+        group_start = k_idx
+        c0 = c0 - r
+    return diags
+
+
+# -- DS005: group conservation ------------------------------------------------
+
+
+def _audit_group_conservation(
+    equation: LinExpr,
+    problem: DependenceProblem,
+    rows: list[TraceRow],
+    index: int,
+    statement: str | None,
+    span: Span | None,
+    exhaustive_limit: int,
+) -> list[Diagnostic]:
+    """Check the Cartesian-product claim by counting solutions.
+
+    Only applies when the scan fully separated a concrete equation: the
+    number of box points solving the equation must equal the product of the
+    per-group solution counts (groups partition the equation's variables).
+    """
+    groups = [row.separated for row in rows if row.separated is not None]
+    if not groups:
+        return []
+    group_vars: set[str] = set()
+    for group in groups:
+        if group_vars & group.variables():
+            return []  # overlapping groups: replay already flagged DS001
+        group_vars |= group.variables()
+    if group_vars != equation.variables():
+        return []  # partial separation: the theorem claims nothing
+    bounds = {name: var.upper for name, var in problem.variables.items()}
+    if not equation.is_integer_concrete():
+        return []
+    if not all(
+        bounds[v].is_constant() for v in equation.variables()
+    ) or not all(g.is_integer_concrete() for g in groups):
+        return []
+    box = 1
+    for v in equation.variables():
+        upper = bounds[v].as_int()
+        box *= max(upper + 1, 0)
+    if box > exhaustive_limit:
+        return []
+    equation_count = _count_zeros(equation, bounds)
+    product = 1
+    for group in groups:
+        product *= _count_zeros(group, bounds)
+    # The residual constant after all separations must be zero for a full
+    # separation; a non-zero leftover means some r was dropped.
+    leftover = equation.const
+    for group in groups:
+        leftover = leftover - group.const
+    if not leftover.is_zero():
+        return [
+            _make(
+                codes.DS005,
+                f"equation {index}: group constants sum to "
+                f"{equation.const - leftover}, equation has {equation.const}",
+                statement,
+                span,
+            )
+        ]
+    if equation_count != product:
+        return [
+            _make(
+                codes.DS005,
+                f"equation {index}: separated groups admit {product} "
+                f"solutions, the equation has {equation_count} "
+                f"(solution set not conserved)",
+                statement,
+                span,
+            )
+        ]
+    return []
+
+
+def _count_zeros(expr: LinExpr, bounds: dict[str, Poly]) -> int:
+    """Number of integer box points at which ``expr`` evaluates to zero."""
+    names = sorted(expr.variables())
+    if not names:
+        return 1 if expr.const.is_zero() else 0
+    ranges = [range(bounds[n].as_int() + 1) for n in names]
+    count = 0
+    for point in _iterproduct(*ranges):
+        if expr.evaluate(dict(zip(names, point))) == 0:
+            count += 1
+    return count
+
+
+# -- DS002/DS003/DS004: verdict-level cross-checks ----------------------------
+
+
+def _audit_verdict(
+    problem: DependenceProblem,
+    result: DelinearizationResult,
+    statement: str | None,
+    span: Span | None,
+    exhaustive_limit: int,
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+
+    # DS003: the GCD test and Banerjee inequalities are sound independence
+    # proofs; delinearization claiming a *proven* dependence where a baseline
+    # proves independence is a contradiction regardless of problem size.
+    if result.verdict is Verdict.DEPENDENT:
+        for name, test in (("GCD", gcd_test), ("Banerjee", banerjee_test)):
+            try:
+                baseline = test(problem)
+            except Exception:  # pragma: no cover - defensive
+                continue
+            if baseline is Verdict.INDEPENDENT:
+                diags.append(
+                    _make(
+                        codes.DS003,
+                        f"verdict DEPENDENT contradicts the {name} test's "
+                        f"INDEPENDENT",
+                        statement,
+                        span,
+                    )
+                )
+
+    small = (
+        problem.is_concrete()
+        and problem.iteration_count() <= exhaustive_limit
+    )
+    if not small:
+        return diags
+
+    truth = exhaustive_test(problem)
+    if result.verdict is Verdict.INDEPENDENT and truth is Verdict.DEPENDENT:
+        diags.append(
+            _make(
+                codes.DS002,
+                "verdict INDEPENDENT but exhaustive enumeration finds a "
+                "solution",
+                statement,
+                span,
+            )
+        )
+    elif result.verdict is Verdict.DEPENDENT and truth is Verdict.INDEPENDENT:
+        diags.append(
+            _make(
+                codes.DS002,
+                "verdict DEPENDENT but exhaustive enumeration finds no "
+                "solution",
+                statement,
+                span,
+            )
+        )
+
+    # DS004: realized directions must be covered by the reported set.
+    if (
+        result.verdict is not Verdict.INDEPENDENT
+        and problem.common_levels > 0
+    ):
+        try:
+            realized = exhaustive_direction_vectors(problem)
+        except (ValueError, KeyError):
+            return diags  # no complete level pairs: nothing to check
+        reported = result.direction_vectors or {
+            DirVec.star(problem.common_levels)
+        }
+        for vec in sorted(realized, key=str):
+            if not any(dv.contains(vec) for dv in reported):
+                diags.append(
+                    _make(
+                        codes.DS004,
+                        f"realized direction vector {vec} is not covered by "
+                        f"the reported set "
+                        f"{{{', '.join(sorted(map(str, reported)))}}}",
+                        statement,
+                        span,
+                    )
+                )
+    return diags
+
+
+def _make(
+    code: str,
+    message: str,
+    statement: str | None,
+    span: Span | None,
+) -> Diagnostic:
+    return Diagnostic.make(code, message, statement=statement, span=span)

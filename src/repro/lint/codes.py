@@ -1,0 +1,103 @@
+"""The diagnostic code registry.
+
+Every diagnostic the lint subsystem can emit has a stable code so tooling
+(CI filters, ``--format=json`` consumers, baselines) can match findings
+without parsing message text.  Codes are grouped by prefix:
+
+* ``DL0xx`` — semantic checks on the input program (the paper's conformance
+  requirements: ranks, declared bounds, loop structure, syntax);
+* ``DF0xx`` — dataflow findings (uninitialized reads, loop-invariance
+  violations that would poison symbolic coefficients);
+* ``DS0xx`` — soundness-auditor findings: internal-consistency failures of
+  the delinearization analysis itself (these always indicate a bug in the
+  analyzer, never in the input program).
+
+``docs/DIAGNOSTICS.md`` catalogues each code with an example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severities, in decreasing order of gravity.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, NOTE: 2}
+
+
+def severity_rank(severity: str) -> int:
+    """Sort rank of a severity (errors first)."""
+    return _SEVERITY_RANK.get(severity, len(_SEVERITY_RANK))
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    default_severity: str
+    title: str
+
+
+_REGISTRY: dict[str, CodeInfo] = {}
+
+
+def _register(code: str, severity: str, title: str) -> str:
+    _REGISTRY[code] = CodeInfo(code, severity, title)
+    return code
+
+# -- DL: semantic / language conformance -------------------------------------
+
+DL001 = _register("DL001", ERROR, "syntax error")
+DL002 = _register("DL002", ERROR, "reference rank does not match declaration")
+DL003 = _register("DL003", ERROR, "subscript never intersects declared bounds")
+DL004 = _register("DL004", WARNING, "subscript can underrun declared bounds")
+DL005 = _register("DL005", WARNING, "subscript can overrun declared bounds")
+DL006 = _register("DL006", ERROR, "loop variable shadows an enclosing loop")
+DL007 = _register("DL007", WARNING, "loop has an empty constant range")
+
+# -- DF: dataflow -------------------------------------------------------------
+
+DF001 = _register("DF001", WARNING, "read of a maybe-uninitialized scalar")
+DF002 = _register(
+    "DF002", WARNING, "subscript symbol is modified inside an enclosing loop"
+)
+DF003 = _register(
+    "DF003", WARNING, "loop bound depends on a scalar modified in the loop"
+)
+DF004 = _register(
+    "DF004", WARNING, "assumption constrains a symbol that is not invariant"
+)
+
+# -- DS: delinearization soundness audit --------------------------------------
+
+DS001 = _register(
+    "DS001", ERROR, "dimension barrier fails re-verified theorem condition (8)"
+)
+DS002 = _register(
+    "DS002", ERROR, "verdict contradicts exhaustive enumeration"
+)
+DS003 = _register(
+    "DS003", ERROR, "verdict contradicts GCD/Banerjee cross-check"
+)
+DS004 = _register(
+    "DS004", ERROR, "direction vectors miss a realized solution direction"
+)
+DS005 = _register(
+    "DS005", ERROR, "separated groups do not conserve the solution set"
+)
+
+
+def code_info(code: str) -> CodeInfo:
+    """Look up a code; unknown codes get a synthetic error-severity entry."""
+    info = _REGISTRY.get(code)
+    if info is None:
+        return CodeInfo(code, ERROR, "unknown diagnostic code")
+    return info
+
+
+def all_codes() -> list[CodeInfo]:
+    """Every registered code, in code order (for documentation/tests)."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]

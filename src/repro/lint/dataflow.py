@@ -1,0 +1,432 @@
+"""A small dataflow framework over the loop-nest IR.
+
+The IR is structured (statement lists and DO loops, no arbitrary branches),
+so the control-flow graph is simple: one node per assignment, one header node
+per loop with a back edge from the end of its body and a bypass edge for the
+zero-trip case, plus synthetic entry/exit nodes.
+
+On top of a generic worklist solver (:func:`solve`) the module provides the
+classic passes the lint engine needs:
+
+* reaching definitions and use-def chains for scalars,
+* maybe-uninitialized-read detection (``DF001``),
+* loop-invariance classification of the symbols that appear in subscripts,
+  loop bounds and user assumptions (``DF002``/``DF003``/``DF004``).
+
+The invariance classification is what lets the dependence analysis treat a
+symbolic coefficient such as ``N`` in ``A(N*N*k + N*j + i)`` as a genuine
+parameter: :func:`invariant_symbols` proves the symbol is never assigned in
+the program instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..ir import ArrayRef, Assignment, Deref, Expr, Loop, Name, Program, Stmt
+from . import codes
+from .diagnostics import Diagnostic
+
+#: Pseudo definition site for "defined before the program starts".
+ENTRY_DEF = -1
+
+
+@dataclass
+class CFGNode:
+    """One control-flow node: an assignment, a loop header, or entry/exit."""
+
+    id: int
+    kind: str  # "entry" | "exit" | "assign" | "loop"
+    stmt: Stmt | None = None
+    loops: tuple[Loop, ...] = ()
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of a program; node 0 is entry, node 1 is exit."""
+
+    nodes: list[CFGNode]
+
+    @property
+    def entry(self) -> CFGNode:
+        return self.nodes[0]
+
+    @property
+    def exit(self) -> CFGNode:
+        return self.nodes[1]
+
+    def __iter__(self) -> Iterator[CFGNode]:
+        return iter(self.nodes)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Build the CFG; statement order is preserved in node ids."""
+    nodes = [CFGNode(0, "entry"), CFGNode(1, "exit")]
+
+    def add(kind: str, stmt: Stmt | None, loops: tuple[Loop, ...]) -> CFGNode:
+        node = CFGNode(len(nodes), kind, stmt, loops)
+        nodes.append(node)
+        return node
+
+    def link(src: CFGNode, dst: CFGNode) -> None:
+        src.succs.append(dst.id)
+        dst.preds.append(src.id)
+
+    def lower_block(
+        stmts: list[Stmt], pred: CFGNode, loops: tuple[Loop, ...]
+    ) -> CFGNode:
+        """Wire a statement list after ``pred``; returns the last node."""
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                header = add("loop", stmt, loops)
+                link(pred, header)
+                tail = lower_block(stmt.body, header, loops + (stmt,))
+                if tail is not header:
+                    link(tail, header)  # back edge
+                pred = header  # bypass edge: the loop may run zero times
+            elif isinstance(stmt, Assignment):
+                node = add("assign", stmt, loops)
+                link(pred, node)
+                pred = node
+            else:
+                raise TypeError(f"unknown statement {type(stmt).__name__}")
+        return pred
+
+    tail = lower_block(program.body, nodes[0], ())
+    link(tail, nodes[1])
+    return CFG(nodes)
+
+
+def solve(
+    cfg: CFG,
+    *,
+    direction: str,
+    init: frozenset,
+    boundary: frozenset,
+    transfer: Callable[[CFGNode, frozenset], frozenset],
+    join: Callable[[frozenset, frozenset], frozenset] = frozenset.union,
+) -> dict[int, frozenset]:
+    """Generic worklist fixed-point solver.
+
+    Returns the IN set of every node for a forward problem, the OUT set for a
+    backward one.  ``boundary`` seeds the entry (forward) or exit (backward)
+    node; ``init`` is the optimistic starting value everywhere else.
+    """
+    forward = direction == "forward"
+    start = cfg.entry.id if forward else cfg.exit.id
+    state: dict[int, frozenset] = {
+        node.id: init for node in cfg.nodes
+    }
+    state[start] = boundary
+    worklist = [node.id for node in cfg.nodes]
+    edges_in = (
+        {n.id: n.preds for n in cfg.nodes}
+        if forward
+        else {n.id: n.succs for n in cfg.nodes}
+    )
+    while worklist:
+        nid = worklist.pop(0)
+        node = cfg.nodes[nid]
+        if nid != start:
+            incoming = init
+            for other in edges_in[nid]:
+                incoming = join(
+                    incoming, transfer(cfg.nodes[other], state[other])
+                )
+            if incoming == state[nid]:
+                continue
+            state[nid] = incoming
+        followers = node.succs if forward else node.preds
+        for follower in followers:
+            if follower not in worklist:
+                worklist.append(follower)
+    return state
+
+
+# -- scalar reaching definitions ----------------------------------------------
+
+
+def _defined_name(node: CFGNode) -> str | None:
+    """The scalar a node defines, if any."""
+    if node.kind == "loop":
+        assert isinstance(node.stmt, Loop)
+        return node.stmt.var
+    if node.kind == "assign":
+        assert isinstance(node.stmt, Assignment)
+        if isinstance(node.stmt.lhs, Name):
+            return node.stmt.lhs.name
+    return None
+
+
+def _scalar_reads(node: CFGNode, arrays: set[str]) -> set[str]:
+    """Scalar names a node reads (subscripts, rhs, loop bounds)."""
+    exprs: list[Expr] = []
+    if node.kind == "loop":
+        assert isinstance(node.stmt, Loop)
+        exprs = [node.stmt.lower, node.stmt.upper, node.stmt.step]
+    elif node.kind == "assign":
+        assert isinstance(node.stmt, Assignment)
+        exprs = [node.stmt.rhs]
+        if isinstance(node.stmt.lhs, ArrayRef):
+            exprs.extend(node.stmt.lhs.subscripts)
+        elif isinstance(node.stmt.lhs, Deref):
+            exprs.append(node.stmt.lhs.pointer)
+    out: set[str] = set()
+    for expr in exprs:
+        for sub in expr.walk():
+            if isinstance(sub, Name) and sub.name not in arrays:
+                out.add(sub.name)
+    return out
+
+
+@dataclass
+class ReachingDefinitions:
+    """Result of the reaching-definitions pass over scalars.
+
+    Facts are ``(name, node_id)`` pairs; ``node_id`` is :data:`ENTRY_DEF`
+    for the pseudo-definition "live at program entry".
+    """
+
+    cfg: CFG
+    reach_in: dict[int, frozenset]
+    defined_anywhere: set[str]
+
+    def use_def(self, node: CFGNode) -> dict[str, set[int]]:
+        """Definition sites reaching each scalar the node reads."""
+        arrays = self._arrays
+        chains: dict[str, set[int]] = {}
+        for name in _scalar_reads(node, arrays):
+            chains[name] = {
+                def_id
+                for def_name, def_id in self.reach_in[node.id]
+                if def_name == name
+            }
+        return chains
+
+    _arrays: set[str] = field(default_factory=set)
+
+
+def reaching_definitions(program: Program, cfg: CFG | None = None) -> ReachingDefinitions:
+    """Forward may-analysis: which scalar definitions reach each node."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    defined = {
+        name
+        for node in cfg.nodes
+        if (name := _defined_name(node)) is not None
+    }
+
+    def transfer(node: CFGNode, facts: frozenset) -> frozenset:
+        name = _defined_name(node)
+        if name is None:
+            return facts
+        kept = frozenset(f for f in facts if f[0] != name)
+        return kept | {(name, node.id)}
+
+    # Every scalar with at least one real definition gets an entry pseudo-def
+    # so a read *before* the first definition is "maybe uninitialized", not
+    # "definitely".  Scalars never defined at all are symbolic parameters.
+    boundary = frozenset((name, ENTRY_DEF) for name in defined)
+    reach_in = solve(
+        cfg,
+        direction="forward",
+        init=frozenset(),
+        boundary=boundary,
+        transfer=transfer,
+    )
+    result = ReachingDefinitions(cfg, reach_in, defined)
+    result._arrays = set(program.decls)
+    return result
+
+
+# -- invariance classification ------------------------------------------------
+
+
+def assigned_scalars(stmts: list[Stmt]) -> set[str]:
+    """Scalars assigned (or used as a loop variable) within a statement list."""
+    out: set[str] = set()
+    stack = list(stmts)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, Loop):
+            out.add(stmt.var)
+            stack.extend(stmt.body)
+        elif isinstance(stmt, Assignment) and isinstance(stmt.lhs, Name):
+            out.add(stmt.lhs.name)
+    return out
+
+
+def invariant_symbols(program: Program) -> set[str]:
+    """Symbols proven invariant over the whole program.
+
+    A symbol is a true parameter (``N``, ``Q``...) iff it is never assigned
+    and never used as a loop variable; such symbols are safe to constrain in
+    :class:`repro.symbolic.Assumptions` and to use as symbolic coefficients.
+    """
+    mutated = assigned_scalars(program.body)
+    mentioned: set[str] = set()
+    arrays = set(program.decls)
+    for stmt, loops in program.walk_statements():
+        for loop in loops:
+            for expr in (loop.lower, loop.upper, loop.step):
+                mentioned |= {
+                    n.name for n in expr.walk() if isinstance(n, Name)
+                }
+        for expr in (stmt.lhs, stmt.rhs):
+            mentioned |= {
+                n.name
+                for n in expr.walk()
+                if isinstance(n, Name) and n.name not in arrays
+            }
+    return mentioned - mutated - arrays
+
+
+# -- diagnostic passes --------------------------------------------------------
+
+
+def check_uninitialized_reads(
+    program: Program, cfg: CFG | None = None
+) -> list[Diagnostic]:
+    """``DF001``: scalar reads that only the entry pseudo-definition reaches,
+    for scalars the program does define somewhere (so they are not symbolic
+    parameters)."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    rd = reaching_definitions(program, cfg)
+    diags: list[Diagnostic] = []
+    for node in cfg.nodes:
+        if node.kind not in ("assign", "loop"):
+            continue
+        for name, defs in sorted(rd.use_def(node).items()):
+            if name not in rd.defined_anywhere:
+                continue  # symbolic parameter
+            if defs and defs != {ENTRY_DEF}:
+                continue  # some real definition reaches (maybe-defined is ok)
+            label = getattr(node.stmt, "label", None)
+            span = getattr(node.stmt, "span", None)
+            diags.append(
+                Diagnostic.make(
+                    codes.DF001,
+                    f"scalar {name} may be read before it is assigned",
+                    statement=label,
+                    span=span,
+                )
+            )
+    return diags
+
+
+def check_subscript_invariance(program: Program) -> list[Diagnostic]:
+    """``DF002``: a subscript uses a scalar that an enclosing loop modifies.
+
+    Such subscripts are not affine functions of the loop variables, so the
+    dependence analysis would silently treat the scalar as a constant.
+    (Induction variables should be substituted away before this check.)
+    """
+    arrays = set(program.decls)
+    diags: list[Diagnostic] = []
+    for stmt, loops in program.walk_statements():
+        if not loops:
+            continue
+        loop_vars = {loop.var for loop in loops}
+        mutated = assigned_scalars(
+            [s for loop in loops for s in loop.body]
+        ) - loop_vars
+        if not mutated:
+            continue
+        for ref, _writes in stmt.refs():
+            for sub in ref.subscripts:
+                culprits = {
+                    n.name
+                    for n in sub.walk()
+                    if isinstance(n, Name)
+                    and n.name in mutated
+                    and n.name not in arrays
+                }
+                for name in sorted(culprits):
+                    diags.append(
+                        Diagnostic.make(
+                            codes.DF002,
+                            f"subscript of {ref.array} uses {name}, which is "
+                            f"modified inside an enclosing loop",
+                            statement=stmt.label,
+                            span=stmt.span,
+                        )
+                    )
+    return diags
+
+
+def check_bound_invariance(program: Program) -> list[Diagnostic]:
+    """``DF003``: a loop bound reads a scalar that the loop body modifies."""
+    diags: list[Diagnostic] = []
+
+    def visit(stmts: list[Stmt], outer_vars: set[str]) -> None:
+        for stmt in stmts:
+            if not isinstance(stmt, Loop):
+                continue
+            mutated = assigned_scalars(stmt.body) - {stmt.var}
+            for which, expr in (
+                ("lower", stmt.lower),
+                ("upper", stmt.upper),
+                ("step", stmt.step),
+            ):
+                bad = sorted(
+                    n.name
+                    for n in expr.walk()
+                    if isinstance(n, Name) and n.name in mutated
+                )
+                for name in bad:
+                    diags.append(
+                        Diagnostic.make(
+                            codes.DF003,
+                            f"{which} bound of loop {stmt.var} reads {name}, "
+                            f"which the loop body modifies",
+                            span=stmt.span,
+                        )
+                    )
+            visit(stmt.body, outer_vars | {stmt.var})
+
+    visit(program.body, set())
+    return diags
+
+
+def check_assumption_invariance(
+    program: Program, assumption_symbols: set[str]
+) -> list[Diagnostic]:
+    """``DF004``: a user assumption constrains a non-invariant symbol.
+
+    Assumptions such as ``N >= 5`` are only sound when ``N`` is a true
+    parameter of the program; constraining a scalar the program assigns (or a
+    loop variable) would let the dependence tests use stale facts.
+    """
+    invariant = invariant_symbols(program)
+    mutated = assigned_scalars(program.body)
+    diags: list[Diagnostic] = []
+    for symbol in sorted(assumption_symbols):
+        if symbol in invariant:
+            continue
+        if symbol in mutated:
+            diags.append(
+                Diagnostic.make(
+                    codes.DF004,
+                    f"assumption constrains {symbol}, which the program "
+                    f"modifies (not a loop-invariant parameter)",
+                )
+            )
+    return diags
+
+
+def run_dataflow_checks(
+    program: Program,
+    assumption_symbols: set[str] | None = None,
+) -> list[Diagnostic]:
+    """All DF passes over one program, in code order."""
+    cfg = build_cfg(program)
+    diags = check_uninitialized_reads(program, cfg)
+    diags += check_subscript_invariance(program)
+    diags += check_bound_invariance(program)
+    if assumption_symbols:
+        diags += check_assumption_invariance(program, assumption_symbols)
+    return diags

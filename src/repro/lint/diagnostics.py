@@ -1,0 +1,108 @@
+"""Structured diagnostics with stable codes, severities and source spans.
+
+This module deliberately depends only on :mod:`repro.ir.span` and
+:mod:`repro.lint.codes` so every layer of the analyzer (frontend, semantic
+checks, dataflow, the soundness auditor) can emit diagnostics without import
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..ir.span import Span
+from .codes import code_info, severity_rank
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a coded, severity-tagged message anchored to a span.
+
+    ``statement`` is the label of the statement the finding concerns (``S1``,
+    ``S2``, ...) when one exists; ``span`` is the source position when the
+    program came from text.  Programmatically built programs have neither.
+    """
+
+    severity: str
+    statement: str | None
+    message: str
+    code: str = field(default="", compare=False)
+    span: Span | None = field(default=None, compare=False)
+
+    @classmethod
+    def make(
+        cls,
+        code: str,
+        message: str,
+        *,
+        severity: str | None = None,
+        statement: str | None = None,
+        span: Span | None = None,
+    ) -> "Diagnostic":
+        """Build a diagnostic, defaulting severity from the code registry."""
+        if severity is None:
+            severity = code_info(code).default_severity
+        return cls(severity, statement, message, code=code, span=span)
+
+    def __str__(self) -> str:
+        where = f" at {self.statement}" if self.statement else ""
+        code = f" [{self.code}]" if self.code else ""
+        pos = f"{self.span}: " if self.span is not None else ""
+        return f"{pos}{self.severity}{where}: {self.message}{code}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``--format=json``)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.statement is not None:
+            out["statement"] = self.statement
+        if self.span is not None:
+            out["line"] = self.span.line
+            out["column"] = self.span.column
+        return out
+
+
+def _sort_key(diag: Diagnostic):
+    span = diag.span
+    return (
+        span is None,  # positioned findings first, in source order
+        span.line if span is not None else 0,
+        span.column if span is not None else 0,
+        diag.code,
+        severity_rank(diag.severity),
+        diag.message,
+    )
+
+
+def sort_diagnostics(diags: list[Diagnostic]) -> list[Diagnostic]:
+    """Deterministic order: by source span, then code, then severity."""
+    return sorted(diags, key=_sort_key)
+
+
+def max_severity(diags: list[Diagnostic]) -> str | None:
+    """The gravest severity present, or None for an empty list."""
+    if not diags:
+        return None
+    return min(diags, key=lambda d: severity_rank(d.severity)).severity
+
+
+def render_text(diags: list[Diagnostic], *, filename: str | None = None) -> str:
+    """Human-readable report, one line per diagnostic."""
+    prefix = f"{filename}:" if filename else ""
+    return "\n".join(f"{prefix}{diag}" for diag in diags)
+
+
+def render_json(diags: list[Diagnostic], *, filename: str | None = None) -> str:
+    """Machine-readable report: a JSON object with a ``diagnostics`` array."""
+    payload: dict = {"diagnostics": [d.to_dict() for d in diags]}
+    if filename is not None:
+        payload["file"] = filename
+    counts: dict[str, int] = {}
+    for diag in diags:
+        counts[diag.severity] = counts.get(diag.severity, 0) + 1
+    payload["counts"] = counts
+    return json.dumps(payload, indent=2)

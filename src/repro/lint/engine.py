@@ -1,0 +1,127 @@
+"""The lint driver: run every analysis over one source file.
+
+``lint_source`` mirrors the front half of the compilation pipeline
+(:mod:`repro.driver`) — parse, pointer conversion, loop normalization,
+induction-variable substitution — then runs, in order:
+
+1. the semantic checker (:mod:`repro.analysis.check`, ``DL`` codes);
+2. the dataflow passes (:mod:`repro.lint.dataflow`, ``DF`` codes);
+3. optionally the delinearization soundness auditor
+   (:mod:`repro.lint.audit`, ``DS`` codes) over every dependence problem the
+   program gives rise to.
+
+Parse and normalization failures become ``DL001`` diagnostics instead of
+exceptions, so the CLI can report them uniformly with spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import normalize_program, substitute_induction_variables
+from ..analysis.check import check_program
+from ..analysis.normalize import NormalizationError
+from ..analysis.pointers import convert_pointers
+from ..frontend import parse_c, parse_fortran
+from ..frontend.errors import ParseError
+from ..ir import Program
+from ..ir.span import Span
+from ..symbolic import Assumptions
+from . import codes
+from .audit import DEFAULT_EXHAUSTIVE_LIMIT
+from .dataflow import run_dataflow_checks
+from .diagnostics import Diagnostic, max_severity, sort_diagnostics
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting one source file."""
+
+    language: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    program: Program | None = None  # None when parsing failed
+    audited_pairs: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == codes.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == codes.WARNING)
+
+    def fails(self, werror: bool = False) -> bool:
+        """True when the report should fail a ``--werror``-aware build."""
+        worst = max_severity(self.diagnostics)
+        if worst == codes.ERROR:
+            return True
+        return werror and worst == codes.WARNING
+
+
+def lint_source(
+    source: str,
+    language: str = "fortran",
+    assumptions: Assumptions | None = None,
+    audit: bool = True,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+) -> LintReport:
+    """Lint FORTRAN or C source text end to end."""
+    report = LintReport(language)
+    try:
+        if language == "c":
+            program, info = parse_c(source)
+            if info.pointers:
+                program = convert_pointers(program, info)
+        else:
+            program = parse_fortran(source)
+    except ParseError as error:
+        span = None
+        if error.line is not None:
+            span = Span(error.line, error.column or 1)
+        report.diagnostics = [
+            Diagnostic.make(codes.DL001, str(error), span=span)
+        ]
+        return report
+    try:
+        normalized = normalize_program(program)
+    except NormalizationError as error:
+        # The raw program still supports the structural checks (rank,
+        # shadowing — the usual cause of normalization failure); make sure
+        # at least one error-severity diagnostic explains the failure.
+        diags = check_program(program, assumptions)
+        if max_severity(diags) != codes.ERROR:
+            diags.append(Diagnostic.make(codes.DL001, str(error)))
+        report.program = program
+        report.diagnostics = sort_diagnostics(diags)
+        return report
+    normalized = substitute_induction_variables(normalized)
+    report.program = normalized
+    diags = check_program(normalized, assumptions)
+    symbols = assumptions.symbols() if assumptions else set()
+    diags += run_dataflow_checks(normalized, symbols)
+    # A program with semantic errors (shadowed loop variables, rank
+    # mismatches) cannot be turned into well-formed dependence problems.
+    if audit and max_severity(diags) != codes.ERROR:
+        diags += _audit_program(
+            normalized, assumptions, exhaustive_limit, report
+        )
+    report.diagnostics = sort_diagnostics(diags)
+    return report
+
+
+def _audit_program(
+    program: Program,
+    assumptions: Assumptions | None,
+    exhaustive_limit: int,
+    report: LintReport,
+) -> list[Diagnostic]:
+    """Run the soundness auditor over every dependence pair of the program."""
+    # Imported here: depgraph depends on lint.audit, so the package cannot
+    # import it at module load time without a cycle.
+    from ..depgraph import analyze_dependences
+
+    graph = analyze_dependences(
+        program, assumptions=assumptions, normalized=True, audit=True
+    )
+    report.audited_pairs = len(graph.edges)
+    return list(graph.audit_diagnostics)

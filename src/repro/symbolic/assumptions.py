@@ -51,6 +51,14 @@ class Assumptions:
         """The recorded lower bound for ``symbol`` (None when unknown)."""
         return self._lower.get(symbol)
 
+    def symbols(self) -> set[str]:
+        """The symbols these assumptions constrain.
+
+        Used by the lint dataflow passes to verify each constrained symbol
+        really is a loop-invariant parameter of the analyzed program.
+        """
+        return set(self._lower)
+
     def with_bound(self, symbol: str, lower: int) -> "Assumptions":
         """A new assumption set with ``symbol >= lower`` added (tightening only)."""
         merged = dict(self._lower)

@@ -85,3 +85,55 @@ class TestLoops:
         )
         text = str(diags[0])
         assert "warning" in text and "S1" in text
+
+
+class TestEdgeCases:
+    def test_empty_constant_range_single_statement(self):
+        # upper < lower by exactly one: the degenerate zero-trip loop.
+        diags = diagnostics_for("REAL A(0:9)\nDO i = 5, 4\nA(i) = 1\nENDDO\n")
+        codes = [d.code for d in diags]
+        assert "DL007" in codes
+
+    def test_empty_range_suppresses_bounds_analysis(self):
+        # A zero-trip loop never executes its body, so the wild subscript
+        # must not also produce bounds warnings for that statement.
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, -1\nA(i+100) = 1\nENDDO\n"
+        )
+        assert [d.code for d in diags] == ["DL007"]
+
+    def test_rank_mismatch_code_and_span(self):
+        diags = diagnostics_for(
+            "REAL A(0:9,0:9)\nDO i = 0, 9\nA(i) = 1\nENDDO\n"
+        )
+        rank = [d for d in diags if d.code == "DL002"]
+        assert rank and rank[0].severity == "error"
+        assert rank[0].span is not None and rank[0].span.line == 3
+
+    def test_shadowed_loop_variable(self):
+        diags = diagnostics_for(
+            "REAL A(0:9,0:9)\nDO i = 0, 9\nDO i = 0, 9\nA(i, i) = 1\n"
+            "ENDDO\nENDDO\n"
+        )
+        shadow = [d for d in diags if d.code == "DL006"]
+        assert shadow and "shadows" in shadow[0].message
+
+    def test_overrun_under_rectangularized_bounds(self):
+        # j's bound depends on i (triangular); rectangularization widens it
+        # to the loop's maximum extent, and the checker must analyze the
+        # subscript against that conservative box.
+        diags = diagnostics_for(
+            "REAL A(0:9)\nDO i = 0, 9\nDO j = 0, i\nA(i+j) = 1\nENDDO\nENDDO\n"
+        )
+        over = [d for d in diags if d.code == "DL005"]
+        assert over and "overrun" in over[0].message
+
+    def test_deterministic_order_by_span_then_code(self):
+        source = (
+            "REAL A(0:9)\nREAL B(0:9,0:9)\nDO i = 0, 9\n"
+            "B(i) = 2\nA(i+5) = 1\nENDDO\n"
+        )
+        diags = diagnostics_for(source)
+        assert [d.code for d in diags] == ["DL002", "DL005"]
+        lines = [d.span.line for d in diags]
+        assert lines == sorted(lines)

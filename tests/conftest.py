@@ -1,8 +1,14 @@
 """Shared fixtures: the paper's dependence problems."""
 
 import pytest
+from hypothesis import settings
 
 from repro.deptests import DependenceProblem
+
+# Wall-clock deadlines turn CPU contention on CI runners into spurious
+# DeadlineExceeded failures; example counts already bound the work.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
 
 
 @pytest.fixture

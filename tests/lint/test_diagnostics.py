@@ -1,0 +1,93 @@
+"""Diagnostics engine: codes, ordering, rendering."""
+
+import json
+
+from repro.ir import Span
+from repro.lint import Diagnostic, codes, render_json, render_text, sort_diagnostics
+from repro.lint.codes import all_codes, code_info
+from repro.lint.diagnostics import max_severity
+
+
+class TestRegistry:
+    def test_every_code_has_title_and_severity(self):
+        infos = all_codes()
+        assert len(infos) >= 15
+        for info in infos:
+            assert info.title
+            assert info.default_severity in ("error", "warning", "note")
+
+    def test_prefix_families(self):
+        prefixes = {info.code[:2] for info in all_codes()}
+        assert prefixes == {"DL", "DF", "DS"}
+
+    def test_soundness_codes_are_errors(self):
+        for info in all_codes():
+            if info.code.startswith("DS"):
+                assert info.default_severity == "error"
+
+    def test_unknown_code_is_synthetic_error(self):
+        assert code_info("ZZ999").default_severity == "error"
+
+    def test_make_defaults_severity_from_registry(self):
+        assert Diagnostic.make(codes.DL004, "m").severity == "warning"
+        assert Diagnostic.make(codes.DS001, "m").severity == "error"
+        assert Diagnostic.make(codes.DL004, "m", severity="error").severity == "error"
+
+
+class TestOrdering:
+    def test_sorted_by_span_then_code(self):
+        d1 = Diagnostic.make(codes.DL005, "later", span=Span(3, 1))
+        d2 = Diagnostic.make(codes.DL002, "same line, smaller code", span=Span(3, 1))
+        d3 = Diagnostic.make(codes.DL007, "earlier line", span=Span(1, 4))
+        d4 = Diagnostic.make(codes.DS001, "no span")
+        out = sort_diagnostics([d1, d2, d3, d4])
+        assert [d.code for d in out] == ["DL007", "DL002", "DL005", "DS001"]
+
+    def test_deterministic_under_input_permutation(self):
+        diags = [
+            Diagnostic.make(codes.DL004, f"m{i}", span=Span(i % 3 + 1, i % 2 + 1))
+            for i in range(6)
+        ]
+        assert sort_diagnostics(diags) == sort_diagnostics(list(reversed(diags)))
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        warn = Diagnostic.make(codes.DL004, "w")
+        err = Diagnostic.make(codes.DL002, "e")
+        assert max_severity([warn]) == "warning"
+        assert max_severity([warn, err]) == "error"
+
+
+class TestRendering:
+    def test_str_carries_position_severity_label_code(self):
+        diag = Diagnostic.make(
+            codes.DL005, "can overrun", statement="S1", span=Span(3, 7)
+        )
+        text = str(diag)
+        assert "3:7" in text
+        assert "warning" in text
+        assert "S1" in text
+        assert "[DL005]" in text
+
+    def test_render_text_prefixes_filename(self):
+        diag = Diagnostic.make(codes.DL002, "boom", span=Span(2, 1))
+        assert render_text([diag], filename="x.f").startswith("x.f:2:1:")
+
+    def test_render_json_round_trips(self):
+        diags = [
+            Diagnostic.make(codes.DL002, "boom", statement="S2", span=Span(2, 5)),
+            Diagnostic.make(codes.DF001, "maybe uninit"),
+        ]
+        payload = json.loads(render_json(diags, filename="x.f"))
+        assert payload["file"] == "x.f"
+        assert payload["counts"] == {"error": 1, "warning": 1}
+        first = payload["diagnostics"][0]
+        assert first == {
+            "code": "DL002",
+            "severity": "error",
+            "message": "boom",
+            "statement": "S2",
+            "line": 2,
+            "column": 5,
+        }
+        assert "line" not in payload["diagnostics"][1]

@@ -1,0 +1,107 @@
+"""End-to-end linting through ``lint_source``."""
+
+import json
+
+from repro.lint import lint_source
+from repro.symbolic import Assumptions
+
+CLEAN = "REAL C(0:99)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n1 C(i+10*j) = C(i+10*j+5)\n"
+
+
+class TestLintSource:
+    def test_clean_program(self):
+        report = lint_source(CLEAN)
+        assert report.diagnostics == []
+        assert not report.fails(werror=True)
+        assert report.program is not None
+        assert report.audited_pairs == 0  # delinearization proves independence
+
+    def test_audit_counts_dependence_edges(self):
+        report = lint_source(
+            "REAL A(0:99)\nDO 1 i = 0, 94\n1 A(i+5) = A(i) + 1\n"
+        )
+        assert report.diagnostics == []
+        assert report.audited_pairs == 1
+
+    def test_no_audit_skips_edges(self):
+        report = lint_source(
+            "REAL A(0:99)\nDO 1 i = 0, 94\n1 A(i+5) = A(i) + 1\n", audit=False
+        )
+        assert report.audited_pairs == 0
+
+    def test_parse_error_becomes_dl001_with_span(self):
+        report = lint_source("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i) = @\n")
+        assert report.program is None
+        assert len(report.diagnostics) == 1
+        diag = report.diagnostics[0]
+        assert diag.code == "DL001"
+        assert diag.span is not None and diag.span.line == 3
+        assert report.fails()
+
+    def test_semantic_warning(self):
+        report = lint_source("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i+5) = 1\n")
+        assert [d.code for d in report.diagnostics] == ["DL005"]
+        assert report.warning_count == 1
+        assert not report.fails()
+        assert report.fails(werror=True)
+
+    def test_semantic_errors_suppress_audit(self):
+        # Shadowed loop variables make dependence-problem construction
+        # ill-defined; the audit must be skipped, not crash.
+        report = lint_source(
+            "REAL A(0:9,0:9)\nDO 1 i = 0, 9\nDO 1 i = 0, 9\n1 A(i+5) = 1\n"
+        )
+        assert any(d.code == "DL006" for d in report.diagnostics)
+        assert report.audited_pairs == 0
+        assert report.fails()
+
+    def test_rank_mismatch_is_error(self):
+        report = lint_source("REAL A(0:9,0:9)\nDO 1 i = 0, 9\n1 A(i) = 1\n")
+        assert any(d.code == "DL002" for d in report.diagnostics)
+        assert report.fails()
+
+    def test_dataflow_findings_included(self):
+        # M = M * 2 is not an induction pattern, so substitution cannot
+        # rewrite B(M) into a loop-variable subscript and DF002 survives.
+        report = lint_source(
+            "REAL B(0:99)\nM = 1\nDO 1 i = 0, 9\nM = M * 2\n1 B(M) = 1\n",
+            audit=False,
+        )
+        assert any(d.code == "DF002" for d in report.diagnostics)
+
+    def test_assumption_invariance_checked(self):
+        report = lint_source(
+            "REAL A(0:99)\nM = 1\nDO 1 i = 0, 9\n1 A(i) = M\n",
+            assumptions=Assumptions({"M": 5}),
+            audit=False,
+        )
+        assert any(d.code == "DF004" for d in report.diagnostics)
+
+    def test_diagnostics_sorted_by_span(self):
+        report = lint_source(
+            "REAL A(0:9)\nREAL B(0:9)\nDO 1 i = 0, 9\nB(i+3) = 2\n1 A(i+5) = 1\n",
+            audit=False,
+        )
+        lines = [d.span.line for d in report.diagnostics if d.span]
+        assert lines == sorted(lines)
+
+    def test_c_source(self):
+        report = lint_source(
+            (
+                "float d[100];\nfloat *i, *j;\n"
+                "for (j = d; j <= d + 90; j += 10)\n"
+                "    for (i = j; i < j + 5; i++)\n"
+                "        *i = *(i + 5);\n"
+            ),
+            language="c",
+        )
+        assert report.language == "c"
+        assert report.diagnostics == []
+
+    def test_json_render_of_report(self):
+        from repro.lint import render_json
+
+        report = lint_source("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i+5) = 1\n")
+        payload = json.loads(render_json(report.diagnostics, filename="a.f"))
+        assert payload["counts"] == {"warning": 1}
+        assert payload["diagnostics"][0]["code"] == "DL005"

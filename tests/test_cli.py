@@ -90,6 +90,59 @@ class TestCheck:
         assert main(["check", str(path)]) == 2
 
 
+class TestLint:
+    def test_clean_program(self, fortran_file, capsys):
+        assert main(["lint", str(fortran_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "warn.f"
+        path.write_text("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i+5) = 1\n")
+        assert main(["lint", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        diag = payload["diagnostics"][0]
+        assert diag["code"] == "DL005"
+        assert diag["line"] == 3
+
+    def test_werror_promotes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.f"
+        path.write_text("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i+5) = 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--werror"]) == 2
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.f"
+        path.write_text("REAL A(0:9,0:9)\nDO 1 i = 0, 9\n1 A(i) = 1\n")
+        assert main(["lint", str(path)]) == 2
+        assert "[DL002]" in capsys.readouterr().out
+
+    def test_audited_edges_reported(self, tmp_path, capsys):
+        path = tmp_path / "dep.f"
+        path.write_text("REAL A(0:99)\nDO 1 i = 0, 94\n1 A(i+5) = A(i) + 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert "1 dependence edge(s) audited" in capsys.readouterr().out
+
+    def test_no_audit_flag(self, tmp_path, capsys):
+        path = tmp_path / "dep.f"
+        path.write_text("REAL A(0:99)\nDO 1 i = 0, 94\n1 A(i+5) = A(i) + 1\n")
+        assert main(["lint", str(path), "--no-audit"]) == 0
+        assert "audited" not in capsys.readouterr().out
+
+    def test_c_file(self, c_file, capsys):
+        assert main(["lint", str(c_file)]) == 0
+
+    def test_parse_error_has_position(self, tmp_path, capsys):
+        path = tmp_path / "syn.f"
+        path.write_text("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i) = @\n")
+        assert main(["lint", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "[DL001]" in out
+        assert "3:" in out
+
+
 class TestCensus:
     def test_counts(self, fortran_file, capsys):
         assert main(["census", str(fortran_file)]) == 0

@@ -7,6 +7,7 @@ any unsound dependence verdict (including a wrong delinearization split)
 would reorder a genuinely dependent pair and corrupt memory.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -115,6 +116,7 @@ def test_known_independent_case_still_matches():
     assert run_schedule(plan).snapshot() == serial.snapshot()
 
 
+@pytest.mark.slow
 def test_figure3_program_matches():
     from benchmarks.workloads import FIGURE3_SOURCE
 
