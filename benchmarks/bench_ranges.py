@@ -1,0 +1,57 @@
+"""Lint throughput with the interval pass on vs off.
+
+The interval abstract interpretation (PR: ranges + derived assumptions)
+runs inside ``repro lint`` by default; these benches price it.  Run with
+
+    pytest benchmarks/bench_ranges.py --benchmark-json=/tmp/ranges.json
+
+and compare against ``benchmarks/baseline_ranges.json`` (recorded on the
+reference container; regenerate with ``make`` targets or the command above
+when the analysis changes materially).
+"""
+
+from repro.corpus import generate_riceps_program, profile
+from repro.lint.engine import lint_source
+from repro.lint.ranges import analyze_ranges, derive_assumptions
+
+from .workloads import FIGURE3_SOURCE
+
+_SYNTH = generate_riceps_program(profile("QCD"), scale=0.05).source
+
+
+def test_bench_lint_with_ranges(benchmark):
+    report = benchmark(
+        lint_source, FIGURE3_SOURCE, audit=False, ranges=True
+    )
+    assert report.error_count == 0
+
+
+def test_bench_lint_without_ranges(benchmark):
+    report = benchmark(
+        lint_source, FIGURE3_SOURCE, audit=False, ranges=False
+    )
+    assert report.error_count == 0
+
+
+def test_bench_lint_synthetic_with_ranges(benchmark):
+    report = benchmark(lint_source, _SYNTH, audit=False, ranges=True)
+    assert report.program is not None
+
+
+def test_bench_lint_synthetic_without_ranges(benchmark):
+    report = benchmark(lint_source, _SYNTH, audit=False, ranges=False)
+    assert report.program is not None
+
+
+def test_bench_interval_pass_alone(benchmark):
+    from repro.analysis import normalize_program
+    from repro.frontend import parse_fortran
+
+    program = normalize_program(parse_fortran(_SYNTH))
+
+    def run():
+        analysis = analyze_ranges(program)
+        return derive_assumptions(program, analysis=analysis)
+
+    assumed = benchmark(run)
+    assert assumed is not None

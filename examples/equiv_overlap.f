@@ -1,0 +1,13 @@
+! DELIBERATELY UNSAFE: an EQUIVALENCE reference crossing its alias's
+! extent.  A and B share storage; A's references sweep storage offsets
+! [0, 99], crossing B's 50-element extent, so the two views genuinely
+! overlap on one half and diverge on the other (DB003, warning).  The
+! ANSI rule the paper quotes treats associated arrays as linearized;
+! this diagnostic flags the case where the association is also
+! partial -- the classic source of silent aliasing bugs.
+      REAL A(0:9, 0:9)
+      REAL B(0:49)
+      EQUIVALENCE (A, B)
+      DO 1 i = 0, 9
+      DO 1 j = 0, 9
+    1 A(i, j) = B(5*i) + 1

@@ -1,0 +1,17 @@
+! DELIBERATELY UNSAFE: out-of-bounds linearized subscripts.
+!
+! The interval pass proves M = 100 at every read of M, so the written
+! subscript i + 10*j + M ranges over [100, 199] -- entirely outside
+! the declared bounds 0:99 (DB001, error).  In the second nest the
+! subscript i + 10*j stays linearized but i spans 15 values against a
+! recovered dimension extent of 10/1 = 10, so distinct (i, j) pairs
+! collide in storage (DB004, warning) and the subscript range [0, 64]
+! is fine while the dimension structure is not.
+      REAL C(0:99)
+      M = 100
+      DO 1 i = 0, 9
+      DO 1 j = 0, 9
+    1 C(i + 10*j + M) = C(i + 10*j)
+      DO 2 i = 0, 14
+      DO 2 j = 0, 5
+    2 C(i + 10*j) = C(i + 10*j) + 1

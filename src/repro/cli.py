@@ -148,6 +148,11 @@ def _add_source_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--assume", default="", help="symbol lower bounds, e.g. 'N=2'"
     )
+    parser.add_argument(
+        "--no-derived-bounds",
+        action="store_true",
+        help="do not infer assumptions from declarations and value ranges",
+    )
 
 
 def _language_of(args) -> str:
@@ -159,9 +164,10 @@ def _language_of(args) -> str:
 def _compile(args):
     source = args.file.read_text()
     assumptions = _parse_assumptions(args.assume)
+    derive = not getattr(args, "no_derived_bounds", False)
     if _language_of(args) == "c":
-        return compile_c(source, assumptions)
-    return compile_fortran(source, assumptions)
+        return compile_c(source, assumptions, derive_bounds=derive)
+    return compile_fortran(source, assumptions, derive_bounds=derive)
 
 
 def _cmd_analyze(args) -> int:
@@ -217,6 +223,7 @@ def _cmd_lint(args) -> int:
         language=_language_of(args),
         assumptions=_parse_assumptions(args.assume),
         audit=not args.no_audit,
+        ranges=not args.no_derived_bounds,
     )
     if args.format == "json":
         print(render_json(report.diagnostics, filename=str(args.file)))

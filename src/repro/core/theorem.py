@@ -22,6 +22,7 @@ concrete integers and symbolic polynomial coefficients under assumptions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..symbolic import Assumptions, LinExpr, Poly, PolyLike, poly_gcd_many
 
@@ -35,8 +36,13 @@ class SplitCandidate:
     d0: Poly
     big_d0: Poly  # D0
 
-    @property
+    @cached_property
     def tail_gcd(self) -> Poly:
+        # Every d0 decomposition of the same suffix shares this gcd, and the
+        # algorithm re-checks candidates across remainder choices, so the
+        # suffix gcd is the single hottest polynomial computation.  The
+        # dataclass is frozen, but cached_property writes the instance
+        # __dict__ directly and never goes through __setattr__.
         return poly_gcd_many([self.big_d0, *(c for _, c, _ in self.tail)])
 
 

@@ -41,6 +41,7 @@ from ..dirvec.vectors import (
 from ..ir import Program, RefContext, collect_refs
 from ..lint.audit import audit_result
 from ..lint.diagnostics import Diagnostic, sort_diagnostics
+from ..lint.ranges import derive_assumptions, nonempty_loop_assumptions
 from ..symbolic import Assumptions, Poly
 
 
@@ -149,15 +150,25 @@ def analyze_dependences(
     include_input: bool = False,
     normalized: bool = False,
     audit: bool = False,
+    derive_bounds: bool = True,
 ) -> DependenceGraph:
     """Build the dependence graph of a program using delinearization.
 
     With ``audit=True`` every delinearization outcome is independently
     re-verified by the soundness auditor (:mod:`repro.lint.audit`); findings
     land in :attr:`DependenceGraph.audit_diagnostics`.
+
+    ``derive_bounds`` (on by default) enriches the user assumptions with
+    facts the program itself proves: symbol bounds implied by declared array
+    extents and interval-analysis value ranges program-wide, plus — per
+    dependence pair — non-emptiness of every loop enclosing either
+    reference.  This is the paper's Section 6 inference (``N >= 1`` from
+    ``REAL A(0:N*N*N-1)``) made automatic.
     """
     assumptions = assumptions or Assumptions.empty()
     analyzed = program if normalized else normalize_program(program)
+    if derive_bounds:
+        assumptions = derive_assumptions(analyzed, assumptions)
     bounds = rectangular_bounds(analyzed)
     graph = DependenceGraph(analyzed)
 
@@ -178,7 +189,14 @@ def analyze_dependences(
                 if first is second and not first.is_write:
                     continue  # self input dependences are meaningless
                 _analyze_pair(
-                    graph, first, second, bounds, assumptions, order, audit
+                    graph,
+                    first,
+                    second,
+                    bounds,
+                    assumptions,
+                    order,
+                    audit,
+                    derive_bounds,
                 )
     if audit:
         graph.audit_diagnostics = sort_diagnostics(graph.audit_diagnostics)
@@ -193,7 +211,16 @@ def _analyze_pair(
     assumptions: Assumptions,
     order: dict[str, int],
     audit: bool = False,
+    derive_bounds: bool = False,
 ) -> None:
+    if derive_bounds:
+        # A dependence requires both statement instances to execute, so the
+        # loops enclosing either reference are non-empty *for this pair*
+        # (the fact would be unsound applied program-wide).
+        loop_vars = {loop.var for loop in first.loops} | {
+            loop.var for loop in second.loops
+        }
+        assumptions = nonempty_loop_assumptions(loop_vars, bounds, assumptions)
     pair = build_pair_problem(first, second, bounds, assumptions)
     if pair.problem is None:
         _add_assumed_edges(graph, first, second, pair)

@@ -74,11 +74,14 @@ def compile_fortran(
     substitute_ivs: bool = True,
     linearize_aliases: bool = True,
     audit: bool = False,
+    derive_bounds: bool = True,
 ) -> CompilationReport:
     """Run the whole pipeline on FORTRAN source text.
 
     ``audit=True`` re-verifies every delinearization outcome through the
     soundness auditor; findings appear in ``report.audit_diagnostics``.
+    ``derive_bounds=False`` turns off assumption inference from declared
+    array extents, loop ranges and interval analysis (user assumptions only).
     """
     phases = ["parse"]
     program = parse_fortran(source)
@@ -97,7 +100,11 @@ def compile_fortran(
         program = linearize_common(program)
         phases.append("linearize-common")
     graph = analyze_dependences(
-        program, assumptions=assumptions, normalized=True, audit=audit
+        program,
+        assumptions=assumptions,
+        normalized=True,
+        audit=audit,
+        derive_bounds=derive_bounds,
     )
     phases.append("dependence-analysis")
     if audit:
@@ -113,9 +120,10 @@ def compile_c(
     source: str,
     assumptions: Assumptions | None = None,
     audit: bool = False,
+    derive_bounds: bool = True,
 ) -> CompilationReport:
     """Run the whole pipeline on C source text (see :func:`compile_fortran`
-    for the ``audit`` flag)."""
+    for the ``audit`` and ``derive_bounds`` flags)."""
     phases = ["parse"]
     program, info = parse_c(source)
     if info.pointers:
@@ -124,7 +132,11 @@ def compile_c(
     program = normalize_program(program)
     phases.append("normalize")
     graph = analyze_dependences(
-        program, assumptions=assumptions, normalized=True, audit=audit
+        program,
+        assumptions=assumptions,
+        normalized=True,
+        audit=audit,
+        derive_bounds=derive_bounds,
     )
     phases.append("dependence-analysis")
     if audit:

@@ -1,12 +1,16 @@
 """Static analysis and self-auditing for the delinearization pipeline.
 
-Three pillars:
+Four pillars:
 
 * :mod:`repro.lint.diagnostics` — structured, coded, span-carrying
   diagnostics with text and JSON renderers;
 * :mod:`repro.lint.dataflow` — a CFG + worklist fixed-point framework over
   the loop-nest IR with reaching definitions, use-def chains,
   uninitialized-read detection and loop-invariance classification;
+* :mod:`repro.lint.ranges` — interval abstract interpretation over the same
+  CFG: per-point value ranges, auto-derived :class:`repro.symbolic.Assumptions`
+  (declared extents, loop ranges, interval facts) and the ``DB`` family of
+  array-bounds diagnostics;
 * :mod:`repro.lint.audit` — the delinearization soundness auditor, which
   independently re-verifies every dimension barrier, verdict and
   direction-vector set the analyzer produces.
@@ -31,17 +35,29 @@ from .diagnostics import (
     render_text,
     sort_diagnostics,
 )
+from .ranges import (
+    Interval,
+    analyze_ranges,
+    check_bounds,
+    derive_assumptions,
+    nonempty_loop_assumptions,
+)
 
 __all__ = [
     "Diagnostic",
+    "Interval",
     "LintReport",
+    "analyze_ranges",
     "audit_problem",
     "audit_result",
     "build_cfg",
+    "check_bounds",
     "codes",
+    "derive_assumptions",
     "invariant_symbols",
     "lint_source",
     "max_severity",
+    "nonempty_loop_assumptions",
     "reaching_definitions",
     "render_json",
     "render_text",

@@ -8,6 +8,9 @@ without parsing message text.  Codes are grouped by prefix:
   requirements: ranks, declared bounds, loop structure, syntax);
 * ``DF0xx`` — dataflow findings (uninitialized reads, loop-invariance
   violations that would poison symbolic coefficients);
+* ``DB0xx`` — interval-analysis bounds findings over linearized subscripts
+  and storage-associated (EQUIVALENCE/COMMON) references, powered by
+  :mod:`repro.lint.ranges`;
 * ``DS0xx`` — soundness-auditor findings: internal-consistency failures of
   the delinearization analysis itself (these always indicate a bug in the
   analyzer, never in the input program).
@@ -69,6 +72,21 @@ DF003 = _register(
 )
 DF004 = _register(
     "DF004", WARNING, "assumption constrains a symbol that is not invariant"
+)
+
+# -- DB: interval-powered array-bounds checks ---------------------------------
+
+DB001 = _register(
+    "DB001", ERROR, "linearized subscript is provably out of bounds"
+)
+DB002 = _register(
+    "DB002", WARNING, "linearized subscript may leave declared bounds"
+)
+DB003 = _register(
+    "DB003", WARNING, "reference crosses an aliased member's extent"
+)
+DB004 = _register(
+    "DB004", WARNING, "variable range overflows the recovered dimension"
 )
 
 # -- DS: delinearization soundness audit --------------------------------------

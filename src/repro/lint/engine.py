@@ -6,7 +6,10 @@ induction-variable substitution — then runs, in order:
 
 1. the semantic checker (:mod:`repro.analysis.check`, ``DL`` codes);
 2. the dataflow passes (:mod:`repro.lint.dataflow`, ``DF`` codes);
-3. optionally the delinearization soundness auditor
+3. the interval range analysis and its bounds checks
+   (:mod:`repro.lint.ranges`, ``DB`` codes), run under assumptions enriched
+   with declaration-derived and interval-derived facts;
+4. optionally the delinearization soundness auditor
    (:mod:`repro.lint.audit`, ``DS`` codes) over every dependence problem the
    program gives rise to.
 
@@ -31,6 +34,12 @@ from . import codes
 from .audit import DEFAULT_EXHAUSTIVE_LIMIT
 from .dataflow import run_dataflow_checks
 from .diagnostics import Diagnostic, max_severity, sort_diagnostics
+from .ranges import (
+    analyze_ranges,
+    check_bounds,
+    declared_bound_assumptions,
+    derive_assumptions,
+)
 
 
 @dataclass
@@ -64,8 +73,14 @@ def lint_source(
     assumptions: Assumptions | None = None,
     audit: bool = True,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    ranges: bool = True,
 ) -> LintReport:
-    """Lint FORTRAN or C source text end to end."""
+    """Lint FORTRAN or C source text end to end.
+
+    ``ranges=False`` disables the interval pass: the ``DB`` checks are
+    skipped and the soundness audit runs on user assumptions only (the
+    ablation measured by ``benchmarks/bench_ranges.py``).
+    """
     report = LintReport(language)
     try:
         if language == "c":
@@ -97,13 +112,20 @@ def lint_source(
     normalized = substitute_induction_variables(normalized)
     report.program = normalized
     diags = check_program(normalized, assumptions)
+    # Only user-supplied symbols are subject to the DF004 invariance check:
+    # derived interval facts legitimately describe assigned scalars.
     symbols = assumptions.symbols() if assumptions else set()
     diags += run_dataflow_checks(normalized, symbols)
+    if ranges:
+        decl_assumed = declared_bound_assumptions(normalized, assumptions)
+        analysis = analyze_ranges(normalized, decl_assumed)
+        derived = derive_assumptions(normalized, assumptions, analysis)
+        diags += check_bounds(normalized, derived, analysis)
     # A program with semantic errors (shadowed loop variables, rank
     # mismatches) cannot be turned into well-formed dependence problems.
     if audit and max_severity(diags) != codes.ERROR:
         diags += _audit_program(
-            normalized, assumptions, exhaustive_limit, report
+            normalized, assumptions, exhaustive_limit, report, ranges
         )
     report.diagnostics = sort_diagnostics(diags)
     return report
@@ -114,6 +136,7 @@ def _audit_program(
     assumptions: Assumptions | None,
     exhaustive_limit: int,
     report: LintReport,
+    derive_bounds: bool = True,
 ) -> list[Diagnostic]:
     """Run the soundness auditor over every dependence pair of the program."""
     # Imported here: depgraph depends on lint.audit, so the package cannot
@@ -121,7 +144,11 @@ def _audit_program(
     from ..depgraph import analyze_dependences
 
     graph = analyze_dependences(
-        program, assumptions=assumptions, normalized=True, audit=True
+        program,
+        assumptions=assumptions,
+        normalized=True,
+        audit=True,
+        derive_bounds=derive_bounds,
     )
     report.audited_pairs = len(graph.edges)
     return list(graph.audit_diagnostics)

@@ -16,6 +16,7 @@ sorted by symbol name; the empty tuple is the constant monomial.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, Mapping, Union
 
 Monomial = tuple[tuple[str, int], ...]
@@ -398,8 +399,11 @@ def poly_gcd(a: PolyLike, b: PolyLike) -> Poly:
     >>> poly_gcd(100, 10).as_int()
     10
     """
-    a = Poly.coerce(a)
-    b = Poly.coerce(b)
+    return _poly_gcd_cached(Poly.coerce(a), Poly.coerce(b))
+
+
+@lru_cache(maxsize=4096)
+def _poly_gcd_cached(a: Poly, b: Poly) -> Poly:
     if a.is_zero():
         return _positive_content(b)
     if b.is_zero():
