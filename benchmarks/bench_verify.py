@@ -1,0 +1,60 @@
+"""Schedule-verifier throughput (PR: static schedule verification).
+
+The verifier (:mod:`repro.lint.schedule`) runs after every vectorization
+by default; these benches price it against codegen itself so the
+``verify=True`` default stays justified.  Run with
+
+    pytest benchmarks/bench_verify.py --benchmark-json=/tmp/verify.json
+
+and compare against ``benchmarks/baseline_verify.json`` (recorded on the
+reference container; regenerate with the command above when the verifier
+changes materially).
+"""
+
+from repro.analysis import normalize_program
+from repro.corpus import generate_riceps_program, profile
+from repro.depgraph import analyze_dependences
+from repro.frontend import parse_fortran
+from repro.lint.schedule import verify_schedule
+from repro.vectorizer import vectorize
+
+from .workloads import FIGURE3_SOURCE
+
+_SYNTH = generate_riceps_program(profile("QCD"), scale=0.05).source
+
+
+def _prepared(source: str):
+    program = normalize_program(parse_fortran(source))
+    graph = analyze_dependences(program, normalized=True)
+    return graph, vectorize(graph)
+
+
+def test_bench_verify_figure3(benchmark):
+    graph, plan = _prepared(FIGURE3_SOURCE)
+    diags = benchmark(verify_schedule, plan, graph)
+    assert not any(d.severity == "error" for d in diags)
+
+
+def test_bench_verify_synthetic(benchmark):
+    graph, plan = _prepared(_SYNTH)
+    diags = benchmark(verify_schedule, plan, graph)
+    assert not any(d.severity == "error" for d in diags)
+
+
+def test_bench_vectorize_only_synthetic(benchmark):
+    """The baseline the verifier rides on: codegen without verification."""
+    graph, _ = _prepared(_SYNTH)
+    plan = benchmark(vectorize, graph)
+    assert plan.schedule
+
+
+def test_bench_vectorize_and_verify_synthetic(benchmark):
+    """End-to-end cost of the ``verify=True`` default."""
+    graph, _ = _prepared(_SYNTH)
+
+    def run():
+        plan = vectorize(graph)
+        return verify_schedule(plan, graph)
+
+    diags = benchmark(run)
+    assert not any(d.severity == "error" for d in diags)

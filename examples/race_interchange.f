@@ -1,0 +1,15 @@
+! The classic (<, >) interchange blocker: the flow dependence of
+! A(i+1, j-1) = A(i, j) on itself is carried forward at level 1 but
+! backward at level 2.  Interchanging the two loops would turn the
+! direction vector into (>, <) — lexicographically negative, i.e. the
+! dependence would run backwards in the swapped iteration order.
+!
+!     repro vectorize examples/race_interchange.f --interchange i
+!
+! re-derives interchange legality from the direction vectors and rejects
+! the swap with VR004 and exit status 2.  Without --interchange the
+! program vectorizes the inner loop and verifies clean.
+      REAL A(0:10, 0:10)
+      DO 1 i = 0, 8
+      DO 1 j = 1, 9
+1     A(i + 1, j - 1) = A(i, j)

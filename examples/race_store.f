@@ -1,0 +1,14 @@
+! A first-order recurrence: every iteration reads the element the
+! previous iteration wrote, so the loop is a flow dependence carried at
+! level 1 and must stay serial.  Run through the verifier-demonstration
+! knob
+!
+!     repro vectorize examples/race_store.f --drop-edge 0
+!
+! codegen sees an empty dependence graph and emits the (wrong) vector
+! statement D(1:5) = D(0:4) + 1; the schedule verifier — which checks
+! against the full graph — rejects it with VR001 and exit status 2.
+! Without the mutation the program compiles serial and verifies clean.
+      REAL D(0:5)
+      DO 1 i = 0, 4
+1     D(i + 1) = D(i) + 1

@@ -3,9 +3,12 @@
 Commands:
 
 * ``analyze <file>``   — print the dependence table of a program;
-* ``vectorize <file>`` — print the vectorized program;
-* ``lint <file>``      — coded diagnostics (semantic checks, dataflow,
-  delinearization soundness audit) with ``--format=json`` and ``--werror``;
+* ``vectorize <file>`` — print the vectorized program, statically verified
+  against the dependence graph (``--no-verify`` to skip; ``--drop-edge`` /
+  ``--interchange`` exercise the verifier);
+* ``lint <file>...``   — coded diagnostics (semantic checks, dataflow,
+  delinearization soundness audit, ``--schedule`` verification) with
+  ``--format=json`` and ``--werror``;
 * ``census <file>``    — count loop nests containing linearized references;
 * ``delinearize``      — run the algorithm on one dependence equation given
   with ``--equation`` and ``--bounds`` (prints the Figure-5 style trace);
@@ -63,6 +66,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="f90",
         help="output dialect (FORTRAN-90 sections or C with pragmas)",
     )
+    vectorize.add_argument(
+        "--verify",
+        action="store_true",
+        help="statically verify the schedule against the dependence graph "
+        "(the default)",
+    )
+    vectorize.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip schedule verification",
+    )
+    vectorize.add_argument(
+        "--drop-edge",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drop dependence edge N before codegen (verifier-demonstration "
+        "knob: the schedule is still checked against the full graph)",
+    )
+    vectorize.add_argument(
+        "--interchange",
+        default=None,
+        metavar="VAR",
+        help="interchange loop VAR with its child before vectorizing "
+        "(re-validated from direction vectors unless --no-verify)",
+    )
     vectorize.set_defaults(handler=_cmd_vectorize)
 
     check = sub.add_parser(
@@ -75,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="full diagnostics: semantic checks, dataflow, soundness audit",
     )
-    _add_source_args(lint)
+    _add_source_args(lint, multiple=True)
     lint.add_argument(
         "--format",
         choices=("text", "json"),
@@ -91,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-audit",
         action="store_true",
         help="skip the delinearization soundness audit (DS codes)",
+    )
+    lint.add_argument(
+        "--schedule",
+        action="store_true",
+        help="vectorize and statically verify the schedule (VR codes)",
     )
     lint.set_defaults(handler=_cmd_lint)
 
@@ -140,8 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_source_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("file", type=Path)
+def _add_source_args(
+    parser: argparse.ArgumentParser, multiple: bool = False
+) -> None:
+    if multiple:
+        parser.add_argument("files", type=Path, nargs="+", metavar="file")
+    else:
+        parser.add_argument("file", type=Path)
     parser.add_argument(
         "--lang", choices=("fortran", "c"), default=None
     )
@@ -155,19 +194,27 @@ def _add_source_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _language_for(path: Path, lang: str | None) -> str:
+    if lang:
+        return lang
+    return "c" if path.suffix == ".c" else "fortran"
+
+
 def _language_of(args) -> str:
-    if args.lang:
-        return args.lang
-    return "c" if args.file.suffix == ".c" else "fortran"
+    return _language_for(args.file, args.lang)
 
 
-def _compile(args):
+def _compile(args, verify: bool = True):
     source = args.file.read_text()
     assumptions = _parse_assumptions(args.assume)
     derive = not getattr(args, "no_derived_bounds", False)
     if _language_of(args) == "c":
-        return compile_c(source, assumptions, derive_bounds=derive)
-    return compile_fortran(source, assumptions, derive_bounds=derive)
+        return compile_c(
+            source, assumptions, derive_bounds=derive, verify=verify
+        )
+    return compile_fortran(
+        source, assumptions, derive_bounds=derive, verify=verify
+    )
 
 
 def _cmd_analyze(args) -> int:
@@ -176,18 +223,81 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_vectorize(args) -> int:
-    report = _compile(args)
-    if args.report:
-        print(report.summary())
-        print()
-    if args.emit == "c":
+def _print_plan(plan, emit: str) -> None:
+    if emit == "c":
         from .vectorizer import emit_c_program
 
-        print(emit_c_program(report.plan), end="")
+        print(emit_c_program(plan), end="")
     else:
-        print(report.output, end="")
-    return 0
+        from .vectorizer import emit_program
+
+        print(emit_program(plan), end="")
+
+
+def _cmd_vectorize(args) -> int:
+    verify = not args.no_verify
+
+    if args.drop_edge is None and args.interchange is None:
+        report = _compile(args, verify=verify)
+        if args.report:
+            print(report.summary())
+            print()
+        _print_plan(report.plan, args.emit)
+        for diag in report.schedule_diagnostics:
+            print(diag)
+        return 0 if report.schedule_ok else 2
+
+    # Mutation / transformation flows drive the pipeline by hand: they need
+    # the program and graph before codegen, not just the finished report.
+    from .depgraph import analyze_dependences
+    from .vectorizer import (
+        checked_interchange,
+        drop_edge,
+        interchange,
+        vectorize,
+        verify_schedule,
+    )
+    from .lint.diagnostics import Diagnostic
+
+    report = _compile(args, verify=False)
+    program, graph = report.program, report.graph
+    assumptions = _parse_assumptions(args.assume)
+    derive = not getattr(args, "no_derived_bounds", False)
+    diags: list[Diagnostic] = []
+
+    if args.interchange is not None:
+        if verify:
+            swapped, diags = checked_interchange(
+                program, graph, args.interchange
+            )
+            if swapped is None:
+                for diag in diags:
+                    print(diag)
+                return 2
+        else:
+            swapped = interchange(program, args.interchange)
+        program = swapped
+        graph = analyze_dependences(
+            program,
+            assumptions=assumptions,
+            normalized=True,
+            derive_bounds=derive,
+        )
+
+    # The schedule is verified against the *unmutated* graph: --drop-edge
+    # exists to demonstrate that a schedule produced from an incomplete
+    # graph is caught.
+    codegen_graph = graph
+    if args.drop_edge is not None:
+        codegen_graph = drop_edge(graph, args.drop_edge)
+    plan = vectorize(codegen_graph)
+    if verify:
+        diags = diags + verify_schedule(plan, graph)
+
+    _print_plan(plan, args.emit)
+    for diag in diags:
+        print(diag)
+    return 2 if any(d.severity == "error" for d in diags) else 0
 
 
 def _cmd_check(args) -> int:
@@ -214,30 +324,50 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .lint import render_json, render_text
+    from .lint import render_json, render_json_many, render_text
     from .lint.engine import lint_source
 
-    source = args.file.read_text()
-    report = lint_source(
-        source,
-        language=_language_of(args),
-        assumptions=_parse_assumptions(args.assume),
-        audit=not args.no_audit,
-        ranges=not args.no_derived_bounds,
-    )
-    if args.format == "json":
-        print(render_json(report.diagnostics, filename=str(args.file)))
-    else:
-        if report.diagnostics:
-            print(render_text(report.diagnostics, filename=str(args.file)))
-        summary = (
-            f"{report.error_count} error(s), "
-            f"{report.warning_count} warning(s)"
+    assumptions = _parse_assumptions(args.assume)
+    # Sorted by path so multi-file output (and JSON) is deterministic
+    # regardless of the order arguments were given in.
+    paths = sorted(args.files, key=str)
+    reports = []
+    for path in paths:
+        report = lint_source(
+            path.read_text(),
+            language=_language_for(path, args.lang),
+            assumptions=assumptions,
+            audit=not args.no_audit,
+            ranges=not args.no_derived_bounds,
+            schedule=args.schedule,
         )
-        if not args.no_audit and report.program is not None:
-            summary += f", {report.audited_pairs} dependence edge(s) audited"
+        reports.append((path, report))
+
+    if args.format == "json":
+        if len(reports) == 1:
+            path, report = reports[0]
+            print(render_json(report.diagnostics, filename=str(path)))
+        else:
+            print(
+                render_json_many(
+                    [(str(p), r.diagnostics) for p, r in reports]
+                )
+            )
+    else:
+        for path, report in reports:
+            if report.diagnostics:
+                print(render_text(report.diagnostics, filename=str(path)))
+        summary = (
+            f"{sum(r.error_count for _, r in reports)} error(s), "
+            f"{sum(r.warning_count for _, r in reports)} warning(s)"
+        )
+        if not args.no_audit and any(
+            r.program is not None for _, r in reports
+        ):
+            audited = sum(r.audited_pairs for _, r in reports)
+            summary += f", {audited} dependence edge(s) audited"
         print(summary)
-    return 2 if report.fails(werror=args.werror) else 0
+    return 2 if any(r.fails(werror=args.werror) for _, r in reports) else 0
 
 
 def _cmd_census(args) -> int:

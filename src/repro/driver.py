@@ -3,8 +3,9 @@
 ``compile_fortran`` / ``compile_c`` run the full front-half of a
 parallelizing compiler: parse, normalize loops, recognize multi-loop
 induction variables, linearize EQUIVALENCE alias groups, build the
-dependence graph with delinearization, run Allen-Kennedy vectorization, and
-emit the transformed program — collecting a per-phase report along the way.
+dependence graph with delinearization, run Allen-Kennedy vectorization,
+statically verify the resulting schedule against the graph, and emit the
+transformed program — collecting a per-phase report along the way.
 """
 
 from __future__ import annotations
@@ -24,7 +25,12 @@ from .frontend import parse_c, parse_fortran
 from .ir import Program, format_program
 from .lint.diagnostics import Diagnostic
 from .symbolic import Assumptions
-from .vectorizer import VectorizationResult, emit_program, vectorize
+from .vectorizer import (
+    VectorizationResult,
+    emit_program,
+    vectorize,
+    verify_schedule,
+)
 
 
 @dataclass
@@ -38,10 +44,21 @@ class CompilationReport:
     plan: VectorizationResult
     output: str
     phases: list[str] = field(default_factory=list)
+    #: Schedule-verifier findings (``VR`` codes); populated when compiled
+    #: with ``verify=True`` (the default) and empty for a clean schedule
+    #: (advisory VR005 warnings aside).
+    schedule_diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def dependence_count(self) -> int:
         return len(self.graph.edges)
+
+    @property
+    def schedule_ok(self) -> bool:
+        """True when verification found no error-severity violation."""
+        return not any(
+            d.severity == "error" for d in self.schedule_diagnostics
+        )
 
     @property
     def audit_diagnostics(self) -> list[Diagnostic]:
@@ -65,6 +82,20 @@ class CompilationReport:
             f"vectorized statements: {', '.join(self.vectorized_statements) or '-'}",
             f"serial statements: {', '.join(self.serial_statements) or '-'}",
         ]
+        if "verify-schedule" in self.phases:
+            if self.schedule_diagnostics:
+                errors = sum(
+                    1
+                    for d in self.schedule_diagnostics
+                    if d.severity == "error"
+                )
+                warnings = len(self.schedule_diagnostics) - errors
+                lines.append(
+                    f"schedule verification: {errors} error(s), "
+                    f"{warnings} warning(s)"
+                )
+            else:
+                lines.append("schedule verification: clean")
         return "\n".join(lines)
 
 
@@ -75,6 +106,7 @@ def compile_fortran(
     linearize_aliases: bool = True,
     audit: bool = False,
     derive_bounds: bool = True,
+    verify: bool = True,
 ) -> CompilationReport:
     """Run the whole pipeline on FORTRAN source text.
 
@@ -82,6 +114,8 @@ def compile_fortran(
     soundness auditor; findings appear in ``report.audit_diagnostics``.
     ``derive_bounds=False`` turns off assumption inference from declared
     array extents, loop ranges and interval analysis (user assumptions only).
+    ``verify`` (on by default) runs the static schedule verifier over the
+    vectorizer's output; findings appear in ``report.schedule_diagnostics``.
     """
     phases = ["parse"]
     program = parse_fortran(source)
@@ -111,8 +145,19 @@ def compile_fortran(
         phases.append("soundness-audit")
     plan = vectorize(graph)
     phases.append("vectorize")
+    schedule_diags: list[Diagnostic] = []
+    if verify:
+        schedule_diags = verify_schedule(plan, graph)
+        phases.append("verify-schedule")
     return CompilationReport(
-        source, "fortran", program, graph, plan, emit_program(plan), phases
+        source,
+        "fortran",
+        program,
+        graph,
+        plan,
+        emit_program(plan),
+        phases,
+        schedule_diags,
     )
 
 
@@ -121,9 +166,10 @@ def compile_c(
     assumptions: Assumptions | None = None,
     audit: bool = False,
     derive_bounds: bool = True,
+    verify: bool = True,
 ) -> CompilationReport:
     """Run the whole pipeline on C source text (see :func:`compile_fortran`
-    for the ``audit`` and ``derive_bounds`` flags)."""
+    for the ``audit``, ``derive_bounds`` and ``verify`` flags)."""
     phases = ["parse"]
     program, info = parse_c(source)
     if info.pointers:
@@ -143,8 +189,19 @@ def compile_c(
         phases.append("soundness-audit")
     plan = vectorize(graph)
     phases.append("vectorize")
+    schedule_diags: list[Diagnostic] = []
+    if verify:
+        schedule_diags = verify_schedule(plan, graph)
+        phases.append("verify-schedule")
     return CompilationReport(
-        source, "c", program, graph, plan, emit_program(plan), phases
+        source,
+        "c",
+        program,
+        graph,
+        plan,
+        emit_program(plan),
+        phases,
+        schedule_diags,
     )
 
 

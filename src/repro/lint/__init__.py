@@ -1,6 +1,6 @@
 """Static analysis and self-auditing for the delinearization pipeline.
 
-Four pillars:
+Five pillars:
 
 * :mod:`repro.lint.diagnostics` — structured, coded, span-carrying
   diagnostics with text and JSON renderers;
@@ -13,7 +13,11 @@ Four pillars:
   array-bounds diagnostics;
 * :mod:`repro.lint.audit` — the delinearization soundness auditor, which
   independently re-verifies every dimension barrier, verdict and
-  direction-vector set the analyzer produces.
+  direction-vector set the analyzer produces;
+* :mod:`repro.lint.schedule` — the schedule verifier, which statically
+  re-derives the legality of every vectorizer output (the ``VR`` family:
+  races, ordering violations, illegal interchanges) without reusing
+  codegen's own edge classification.
 
 :mod:`repro.lint.engine` ties them together behind ``lint_source`` (the
 ``repro lint`` CLI subcommand).  It is loaded lazily because it imports
@@ -29,9 +33,11 @@ from .dataflow import (
     run_dataflow_checks,
 )
 from .diagnostics import (
+    SCHEMA_VERSION,
     Diagnostic,
     max_severity,
     render_json,
+    render_json_many,
     render_text,
     sort_diagnostics,
 )
@@ -42,11 +48,13 @@ from .ranges import (
     derive_assumptions,
     nonempty_loop_assumptions,
 )
+from .schedule import verify_interchange, verify_schedule
 
 __all__ = [
     "Diagnostic",
     "Interval",
     "LintReport",
+    "SCHEMA_VERSION",
     "analyze_ranges",
     "audit_problem",
     "audit_result",
@@ -60,9 +68,12 @@ __all__ = [
     "nonempty_loop_assumptions",
     "reaching_definitions",
     "render_json",
+    "render_json_many",
     "render_text",
     "run_dataflow_checks",
     "sort_diagnostics",
+    "verify_interchange",
+    "verify_schedule",
 ]
 
 _LAZY = {"lint_source", "LintReport"}

@@ -11,6 +11,10 @@ without parsing message text.  Codes are grouped by prefix:
 * ``DB0xx`` — interval-analysis bounds findings over linearized subscripts
   and storage-associated (EQUIVALENCE/COMMON) references, powered by
   :mod:`repro.lint.ranges`;
+* ``VR0xx`` — schedule-verifier findings: legality violations of the
+  vectorizer's output (races, ordering violations, illegal interchanges)
+  statically re-derived from the dependence graph by
+  :mod:`repro.lint.schedule`;
 * ``DS0xx`` — soundness-auditor findings: internal-consistency failures of
   the delinearization analysis itself (these always indicate a bug in the
   analyzer, never in the input program).
@@ -87,6 +91,24 @@ DB003 = _register(
 )
 DB004 = _register(
     "DB004", WARNING, "variable range overflows the recovered dimension"
+)
+
+# -- VR: vectorizer schedule verification --------------------------------------
+
+VR001 = _register(
+    "VR001", ERROR, "dependence carried at a vector loop level (race)"
+)
+VR002 = _register(
+    "VR002", ERROR, "statement order violates a loop-independent dependence"
+)
+VR003 = _register(
+    "VR003", ERROR, "distributed loop order violates a carried dependence"
+)
+VR004 = _register(
+    "VR004", ERROR, "loop interchange reverses a dependence direction"
+)
+VR005 = _register(
+    "VR005", WARNING, "loop serialized without an analyzed dependence"
 )
 
 # -- DS: delinearization soundness audit --------------------------------------

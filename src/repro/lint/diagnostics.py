@@ -96,13 +96,52 @@ def render_text(diags: list[Diagnostic], *, filename: str | None = None) -> str:
     return "\n".join(f"{prefix}{diag}" for diag in diags)
 
 
+#: Schema version of the JSON renderer output.  Bumped whenever the shape
+#: of the payload changes, so downstream tooling can detect incompatibility
+#: instead of silently misparsing.
+SCHEMA_VERSION = 1
+
+
 def render_json(diags: list[Diagnostic], *, filename: str | None = None) -> str:
     """Machine-readable report: a JSON object with a ``diagnostics`` array."""
-    payload: dict = {"diagnostics": [d.to_dict() for d in diags]}
+    payload: dict = {
+        "version": SCHEMA_VERSION,
+        "diagnostics": [d.to_dict() for d in diags],
+    }
     if filename is not None:
         payload["file"] = filename
+    payload["counts"] = _severity_counts(diags)
+    return json.dumps(payload, indent=2)
+
+
+def render_json_many(entries: list[tuple[str, list[Diagnostic]]]) -> str:
+    """Machine-readable multi-file report.
+
+    ``entries`` is a list of ``(filename, diagnostics)`` pairs, reported in
+    the given order (the CLI sorts by path first, so output is
+    deterministic regardless of command-line argument order).
+    """
+    files = []
+    totals: list[Diagnostic] = []
+    for filename, diags in entries:
+        files.append(
+            {
+                "file": filename,
+                "diagnostics": [d.to_dict() for d in diags],
+                "counts": _severity_counts(diags),
+            }
+        )
+        totals.extend(diags)
+    payload = {
+        "version": SCHEMA_VERSION,
+        "files": files,
+        "counts": _severity_counts(totals),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _severity_counts(diags: list[Diagnostic]) -> dict[str, int]:
     counts: dict[str, int] = {}
     for diag in diags:
         counts[diag.severity] = counts.get(diag.severity, 0) + 1
-    payload["counts"] = counts
-    return json.dumps(payload, indent=2)
+    return counts

@@ -11,7 +11,10 @@ induction-variable substitution — then runs, in order:
    with declaration-derived and interval-derived facts;
 4. optionally the delinearization soundness auditor
    (:mod:`repro.lint.audit`, ``DS`` codes) over every dependence problem the
-   program gives rise to.
+   program gives rise to;
+5. optionally the schedule verifier (:mod:`repro.lint.schedule`, ``VR``
+   codes): the program is vectorized and the resulting schedule statically
+   re-verified against the dependence graph.
 
 Parse and normalization failures become ``DL001`` diagnostics instead of
 exceptions, so the CLI can report them uniformly with spans.
@@ -74,12 +77,15 @@ def lint_source(
     audit: bool = True,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
     ranges: bool = True,
+    schedule: bool = False,
 ) -> LintReport:
     """Lint FORTRAN or C source text end to end.
 
     ``ranges=False`` disables the interval pass: the ``DB`` checks are
     skipped and the soundness audit runs on user assumptions only (the
-    ablation measured by ``benchmarks/bench_ranges.py``).
+    ablation measured by ``benchmarks/bench_ranges.py``).  ``schedule=True``
+    additionally vectorizes the program and statically verifies the
+    resulting schedule (``VR`` codes).
     """
     report = LintReport(language)
     try:
@@ -123,22 +129,26 @@ def lint_source(
         diags += check_bounds(normalized, derived, analysis)
     # A program with semantic errors (shadowed loop variables, rank
     # mismatches) cannot be turned into well-formed dependence problems.
-    if audit and max_severity(diags) != codes.ERROR:
-        diags += _audit_program(
-            normalized, assumptions, exhaustive_limit, report, ranges
+    if (audit or schedule) and max_severity(diags) != codes.ERROR:
+        diags += _graph_passes(
+            normalized, assumptions, exhaustive_limit, report, ranges,
+            audit, schedule,
         )
     report.diagnostics = sort_diagnostics(diags)
     return report
 
 
-def _audit_program(
+def _graph_passes(
     program: Program,
     assumptions: Assumptions | None,
     exhaustive_limit: int,
     report: LintReport,
     derive_bounds: bool = True,
+    audit: bool = True,
+    schedule: bool = False,
 ) -> list[Diagnostic]:
-    """Run the soundness auditor over every dependence pair of the program."""
+    """The dependence-graph-backed passes: soundness audit and, on request,
+    vectorization plus schedule verification (one graph serves both)."""
     # Imported here: depgraph depends on lint.audit, so the package cannot
     # import it at module load time without a cycle.
     from ..depgraph import analyze_dependences
@@ -147,8 +157,17 @@ def _audit_program(
         program,
         assumptions=assumptions,
         normalized=True,
-        audit=True,
+        audit=audit,
         derive_bounds=derive_bounds,
     )
-    report.audited_pairs = len(graph.edges)
-    return list(graph.audit_diagnostics)
+    diags: list[Diagnostic] = []
+    if audit:
+        report.audited_pairs = len(graph.edges)
+        diags += list(graph.audit_diagnostics)
+    if schedule:
+        from ..vectorizer import vectorize
+
+        from .schedule import verify_schedule
+
+        diags += verify_schedule(vectorize(graph), graph)
+    return diags

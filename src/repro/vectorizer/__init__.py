@@ -6,11 +6,20 @@ from .execute import run_schedule
 from .emit_f90 import emit_program
 from .scc import has_cycle, strongly_connected_components
 from .transforms import interchange, interchange_legal, parallel_levels
+from .verify import (
+    checked_interchange,
+    drop_edge,
+    verify_interchange,
+    verify_schedule,
+    weaken_edge,
+)
 
 __all__ = [
     "CEmissionError",
     "VectorLoop",
     "VectorizationResult",
+    "checked_interchange",
+    "drop_edge",
     "emit_c_program",
     "emit_program",
     "run_schedule",
@@ -20,4 +29,7 @@ __all__ = [
     "parallel_levels",
     "strongly_connected_components",
     "vectorize",
+    "verify_interchange",
+    "verify_schedule",
+    "weaken_edge",
 ]

@@ -141,13 +141,21 @@ def _codegen(
         group = [by_label[label] for label in component]
         deepest_common = min(len(loops) for _, loops in group)
         if level > deepest_common:
-            # No loop left to serialize: statements stay fully serial.
+            # No shared loop left to serialize: each statement stays fully
+            # serial inside its own remaining loops (which must appear in
+            # the schedule tree, or execution would skip them).  Textual
+            # order is safe: the only constraints left between group
+            # members are same-instance orderings — every shared level is
+            # already serialized, and no deeper level is shared.
             for stmt, loops in group:
                 entry = VectorLoop(
                     stmt, loops, tuple(range(1, len(loops) + 1)), ()
                 )
                 result.plan.append(entry)
-                out.append(("stmt", entry))
+                node: ScheduleNode = ("stmt", entry)
+                for inner in range(len(loops), level - 1, -1):
+                    node = ("loop", loops[inner - 1], inner, [node])
+                out.append(node)
             continue
         shared_loop = group[0][1][level - 1]
         remaining = [

@@ -1,0 +1,112 @@
+"""Glue between the vectorizer and the schedule verifier.
+
+The verifier itself lives in :mod:`repro.lint.schedule` (it is a lint pass
+and emits ``VR`` diagnostics through the lint engine); this module hosts
+the vectorizer-side conveniences:
+
+* :func:`verify_schedule` / :func:`verify_interchange` re-exports;
+* :func:`checked_interchange` — perform :func:`repro.vectorizer.interchange`
+  only after re-validating it from the dependence graph's direction
+  vectors (VR004 on failure);
+* :func:`drop_edge` / :func:`weaken_edge` — deliberate dependence-graph
+  mutations.  These exist to prove the verifier has teeth: codegen run on
+  a mutated graph emits a schedule that the verifier — checking against the
+  *unmutated* graph — must reject, the static analog of the fuzzing oracle.
+"""
+
+from __future__ import annotations
+
+from ..depgraph.builder import Dependence, DependenceGraph
+from ..dirvec.vectors import D_EQ, DirVec
+from ..ir import Loop, Program
+from ..lint.diagnostics import Diagnostic
+from ..lint.schedule import verify_interchange, verify_schedule
+from .transforms import interchange
+
+__all__ = [
+    "checked_interchange",
+    "drop_edge",
+    "interchange_depth",
+    "verify_interchange",
+    "verify_schedule",
+    "weaken_edge",
+]
+
+
+def drop_edge(graph: DependenceGraph, index: int) -> DependenceGraph:
+    """A copy of the graph without edge ``index`` (in ``graph.edges`` order).
+
+    Simulates a missed dependence — the failure mode delinearization bugs
+    would cause.  Verify the resulting schedule against the original graph.
+    """
+    if not 0 <= index < len(graph.edges):
+        raise ValueError(
+            f"edge index {index} out of range (graph has "
+            f"{len(graph.edges)} edges)"
+        )
+    kept = [e for position, e in enumerate(graph.edges) if position != index]
+    return DependenceGraph(graph.program, kept, list(graph.audit_diagnostics))
+
+
+def weaken_edge(graph: DependenceGraph, index: int) -> DependenceGraph:
+    """A copy of the graph with edge ``index`` weakened to loop independent.
+
+    The all-'=' direction keeps the statement-ordering constraint but drops
+    every carried relation — the shape of a direction-vector computation
+    bug (as opposed to a wholly missed dependence).
+    """
+    if not 0 <= index < len(graph.edges):
+        raise ValueError(
+            f"edge index {index} out of range (graph has "
+            f"{len(graph.edges)} edges)"
+        )
+    edges = list(graph.edges)
+    edge = edges[index]
+    edges[index] = Dependence(
+        edge.source,
+        edge.sink,
+        edge.kind,
+        DirVec([D_EQ] * len(edge.direction)),
+        None,
+        edge.assumed,
+    )
+    return DependenceGraph(
+        graph.program, edges, list(graph.audit_diagnostics)
+    )
+
+
+def interchange_depth(program: Program, outer_var: str) -> int:
+    """Nesting depth (1-based) of the loop ``outer_var`` in the program."""
+
+    def search(stmts: list, depth: int) -> int | None:
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                if stmt.var == outer_var:
+                    return depth
+                found = search(stmt.body, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    depth = search(program.body, 1)
+    if depth is None:
+        raise ValueError(f"no loop over {outer_var!r} in the program")
+    return depth
+
+
+def checked_interchange(
+    program: Program, graph: DependenceGraph, outer_var: str
+) -> tuple[Program | None, list[Diagnostic]]:
+    """Interchange ``outer_var`` with its child, re-validated first.
+
+    Legality is re-derived from the dependence graph's direction vectors
+    (:func:`repro.lint.schedule.verify_interchange`), independently of
+    :func:`repro.vectorizer.transforms.interchange_legal`.  Returns the
+    swapped program and no diagnostics when legal; ``None`` and the VR004
+    diagnostics when the interchange would reverse a dependence.
+    """
+    depth = interchange_depth(program, outer_var)
+    diags = verify_interchange(graph, depth, depth + 1)
+    if diags:
+        return None, diags
+    return interchange(program, outer_var), []

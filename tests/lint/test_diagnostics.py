@@ -18,7 +18,7 @@ class TestRegistry:
 
     def test_prefix_families(self):
         prefixes = {info.code[:2] for info in all_codes()}
-        assert prefixes == {"DL", "DF", "DB", "DS"}
+        assert prefixes == {"DL", "DF", "DB", "DS", "VR"}
 
     def test_soundness_codes_are_errors(self):
         for info in all_codes():
@@ -91,3 +91,34 @@ class TestRendering:
             "column": 5,
         }
         assert "line" not in payload["diagnostics"][1]
+
+
+class TestSchemaVersion:
+    def test_render_json_carries_version(self):
+        from repro.lint import SCHEMA_VERSION
+
+        payload = json.loads(render_json([]))
+        assert payload["version"] == SCHEMA_VERSION
+        assert payload["counts"] == {}
+
+    def test_render_json_many_groups_by_file(self):
+        from repro.lint import SCHEMA_VERSION
+        from repro.lint.diagnostics import render_json_many
+
+        warn = Diagnostic.make(codes.DL005, "overrun", span=Span(3, 1))
+        err = Diagnostic.make(codes.DL002, "boom")
+        payload = json.loads(
+            render_json_many([("a.f", [warn]), ("b.f", [err, warn])])
+        )
+        assert payload["version"] == SCHEMA_VERSION
+        assert [f["file"] for f in payload["files"]] == ["a.f", "b.f"]
+        assert payload["files"][0]["counts"] == {"warning": 1}
+        assert payload["files"][1]["counts"] == {"error": 1, "warning": 1}
+        assert payload["counts"] == {"error": 1, "warning": 2}
+
+    def test_render_json_many_empty(self):
+        from repro.lint.diagnostics import render_json_many
+
+        payload = json.loads(render_json_many([]))
+        assert payload["files"] == []
+        assert payload["counts"] == {}

@@ -105,3 +105,35 @@ class TestLintSource:
         payload = json.loads(render_json(report.diagnostics, filename="a.f"))
         assert payload["counts"] == {"warning": 1}
         assert payload["diagnostics"][0]["code"] == "DL005"
+
+
+class TestSchedulePass:
+    SCALAR = (
+        "REAL A(0:9), B(0:9)\nDO 1 i = 0, 5\nX = B(i) + 1\n1 A(i) = X\n"
+    )
+
+    def test_schedule_pass_reports_serialization_gaps(self):
+        report = lint_source(self.SCALAR, schedule=True)
+        assert any(d.code == "VR005" for d in report.diagnostics)
+        assert report.error_count == 0
+
+    def test_schedule_pass_off_by_default(self):
+        report = lint_source(self.SCALAR)
+        assert not any(
+            d.code.startswith("VR") for d in report.diagnostics
+        )
+
+    def test_schedule_without_audit(self):
+        report = lint_source(self.SCALAR, audit=False, schedule=True)
+        assert report.audited_pairs == 0
+        assert any(d.code == "VR005" for d in report.diagnostics)
+
+    def test_schedule_skipped_on_semantic_errors(self):
+        # A rank mismatch stops the graph passes; no VR diagnostics.
+        report = lint_source(
+            "REAL A(0:9,0:9)\nDO 1 i = 0, 9\n1 A(i) = 1\n", schedule=True
+        )
+        assert report.error_count > 0
+        assert not any(
+            d.code.startswith("VR") for d in report.diagnostics
+        )

@@ -1,0 +1,364 @@
+"""Tests for the static schedule verifier (``VR`` diagnostics).
+
+Three layers:
+
+* unit tests driving :func:`verify_schedule` / :func:`verify_interchange`
+  on known-shape programs, including hand-tampered plans for each code;
+* a mutation harness: drop or weaken one dependence edge before codegen
+  and check the verifier's verdict (against the *unmutated* graph) versus
+  the execution oracle — the static analog of the fuzzing differential;
+* a hypothesis differential: on random programs, the verifier must accept
+  exactly the schedules whose parallel execution matches serial (accept
+  implies match; mismatch implies reject).
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import normalize_program
+from repro.depgraph import DependenceGraph, analyze_dependences
+from repro.frontend import parse_fortran
+from repro.ir import run_program
+from repro.lint import codes
+from repro.lint.schedule import verify_interchange, verify_schedule
+from repro.vectorizer import (
+    VectorLoop,
+    checked_interchange,
+    drop_edge,
+    run_schedule,
+    vectorize,
+    weaken_edge,
+)
+from repro.vectorizer.allen_kennedy import VectorizationResult
+
+from tests.vectorizer.test_execution_equivalence import programs
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+RECURRENCE = "REAL D(0:9)\nDO i = 0, 8\nD(i+1) = D(i) + 1\nENDDO\n"
+EQUATION1 = (
+    "REAL C(0:99)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n"
+    "1 C(i+10*j) = C(i+10*j+5) + 1\n"
+)
+INDEPENDENT_PAIR = (
+    "REAL A(0:9), B(0:9), C(0:9)\nDO i = 0, 5\n"
+    "A(i) = B(i) + 1\nC(i) = A(i) + 2\nENDDO\n"
+)
+CARRIED_PAIR = (
+    "REAL A(0:9), B(0:9), C(0:9)\nDO i = 1, 5\n"
+    "A(i) = B(i) + 1\nC(i) = A(i-1) + 2\nENDDO\n"
+)
+SCALAR_SHARED = (
+    "REAL A(0:9), B(0:9)\nDO i = 0, 5\nX = B(i) + 1\nA(i) = X\nENDDO\n"
+)
+
+
+def compiled(source):
+    program = normalize_program(parse_fortran(source))
+    graph = analyze_dependences(program, normalized=True)
+    return graph, vectorize(graph)
+
+
+def errors(diags):
+    return [d for d in diags if d.severity == codes.ERROR]
+
+
+def error_codes(diags):
+    return {d.code for d in errors(diags)}
+
+
+class TestCleanSchedules:
+    @pytest.mark.parametrize(
+        "source",
+        [RECURRENCE, EQUATION1, INDEPENDENT_PAIR, CARRIED_PAIR, SCALAR_SHARED],
+    )
+    def test_unmutated_schedule_verifies_clean(self, source):
+        graph, plan = compiled(source)
+        assert not errors(verify_schedule(plan, graph))
+
+    def test_gather_legalizes_vector_anti_dependence(self):
+        # D(i) = D(i+1) is anti (<) on itself.  Codegen conservatively
+        # serializes the self-loop SCC, but a fully-vector schedule is
+        # nonetheless legal under FORTRAN-90 gather-before-write semantics
+        # — the verifier must accept it (and execution agrees).
+        source = "REAL D(0:9)\nDO i = 0, 8\nD(i) = D(i+1) + 1\nENDDO\n"
+        graph, plan = compiled(source)
+        entry = plan.plan[0]
+        vector = VectorLoop(entry.stmt, entry.loops, (), (1,))
+        tampered = VectorizationResult(
+            plan.program, [vector], [("stmt", vector)]
+        )
+        assert not errors(verify_schedule(tampered, graph))
+        program = normalize_program(parse_fortran(source))
+        assert (
+            run_schedule(tampered).snapshot()
+            == run_program(program).snapshot()
+        )
+
+    def test_examples_verify_clean(self):
+        for path in sorted(EXAMPLES.glob("*.f")):
+            graph, plan = compiled(path.read_text())
+            assert not errors(verify_schedule(plan, graph)), path.name
+
+
+class TestVR001Races:
+    def test_dropped_flow_edge_is_caught(self):
+        graph, _ = compiled(RECURRENCE)
+        plan = vectorize(drop_edge(graph, 0))
+        assert plan.statement_plan("S1").vector_levels == (1,)
+        assert error_codes(verify_schedule(plan, graph)) == {codes.VR001}
+
+    def test_empty_graph_vectorizes_everything_and_is_rejected(self):
+        graph, _ = compiled(RECURRENCE)
+        plan = vectorize(DependenceGraph(graph.program, []))
+        assert error_codes(verify_schedule(plan, graph)) == {codes.VR001}
+
+    def test_vector_scalar_write_is_an_output_race(self):
+        # Hand-build a fully-vector schedule for the scalar-sharing program:
+        # the re-derived scalar obligations (not codegen's) must reject it.
+        graph, plan = compiled(SCALAR_SHARED)
+        tampered_plan = [
+            VectorLoop(e.stmt, e.loops, (), tuple(range(1, len(e.loops) + 1)))
+            for e in plan.plan
+        ]
+        tampered = VectorizationResult(
+            plan.program,
+            tampered_plan,
+            [("stmt", e) for e in tampered_plan],
+        )
+        diags = verify_schedule(tampered, graph)
+        assert codes.VR001 in error_codes(diags)
+        assert any("output" in d.message for d in errors(diags))
+
+    def test_weakened_edge_that_keeps_schedule_serial_is_accepted(self):
+        # Weakening the self-edge to all-'=' still leaves a self-loop in
+        # codegen's SCC graph, so the schedule stays serial — and a serial
+        # schedule respects every dependence.  No false reject.
+        graph, plan = compiled(RECURRENCE)
+        mutated = vectorize(weaken_edge(graph, 0))
+        assert mutated.statement_plan("S1").serial_levels == (1,)
+        assert not errors(verify_schedule(mutated, graph))
+
+
+class TestVR002Order:
+    def test_reordered_independent_statements_are_caught(self):
+        graph, plan = compiled(INDEPENDENT_PAIR)
+        assert [e.stmt.label for e in plan.plan] == ["S1", "S2"]
+        plan.schedule.reverse()
+        assert error_codes(verify_schedule(plan, graph)) == {codes.VR002}
+
+    def test_original_order_is_accepted(self):
+        graph, plan = compiled(INDEPENDENT_PAIR)
+        assert not errors(verify_schedule(plan, graph))
+
+
+class TestVR003Distribution:
+    def test_reordered_distributed_loops_are_caught(self):
+        # S1 -> S2 carried (<): distribution must run S1's loop first.
+        graph, plan = compiled(CARRIED_PAIR)
+        plan.schedule.reverse()
+        assert error_codes(verify_schedule(plan, graph)) == {codes.VR003}
+
+    def test_plan_tree_mismatch_is_structural_vr003(self):
+        graph, plan = compiled(RECURRENCE)
+        entry = plan.plan[0]
+        plan.plan[0] = VectorLoop(entry.stmt, entry.loops, (), (1,))
+        assert codes.VR003 in error_codes(verify_schedule(plan, graph))
+
+    def test_statement_missing_from_tree_is_structural_vr003(self):
+        graph, plan = compiled(RECURRENCE)
+        plan.schedule.clear()
+        assert codes.VR003 in error_codes(verify_schedule(plan, graph))
+
+    def test_non_partitioning_levels_are_structural_vr003(self):
+        graph, plan = compiled(RECURRENCE)
+        entry = plan.plan[0]
+        plan.plan[0] = VectorLoop(entry.stmt, entry.loops, (1,), (1,))
+        assert codes.VR003 in error_codes(verify_schedule(plan, graph))
+
+
+class TestVR004Interchange:
+    def test_less_greater_dependence_blocks_interchange(self):
+        graph, _ = compiled(
+            "REAL A(0:10, 0:10)\nDO i = 0, 8\nDO j = 1, 9\n"
+            "A(i+1, j-1) = A(i, j)\nENDDO\nENDDO\n"
+        )
+        diags = verify_interchange(graph, 1, 2)
+        assert {d.code for d in diags} == {codes.VR004}
+
+    def test_less_less_dependence_allows_interchange(self):
+        graph, _ = compiled(
+            "REAL A(0:10, 0:10)\nDO i = 0, 8\nDO j = 0, 8\n"
+            "A(i+1, j+1) = A(i, j)\nENDDO\nENDDO\n"
+        )
+        assert verify_interchange(graph, 1, 2) == []
+
+    def test_input_dependences_do_not_block(self):
+        # The only (<, >)-shaped pair is between two reads of A.
+        graph, _ = compiled(
+            "REAL A(0:10, 0:10), B(0:10, 0:10), C(0:10, 0:10)\n"
+            "DO i = 0, 8\nDO j = 1, 9\n"
+            "B(i, j) = A(i, j)\nC(i, j) = A(i+1, j-1)\nENDDO\nENDDO\n"
+        )
+        assert all(e.kind == "input" for e in graph.edges)
+        assert verify_interchange(graph, 1, 2) == []
+
+    def test_shallow_edges_are_unaffected(self):
+        graph, _ = compiled(RECURRENCE)
+        assert verify_interchange(graph, 1, 2) == []
+
+    def test_checked_interchange_refuses_illegal_swap(self):
+        source = (
+            "REAL A(0:10, 0:10)\nDO i = 0, 8\nDO j = 1, 9\n"
+            "A(i+1, j-1) = A(i, j)\nENDDO\nENDDO\n"
+        )
+        program = normalize_program(parse_fortran(source))
+        graph = analyze_dependences(program, normalized=True)
+        swapped, diags = checked_interchange(program, graph, "i")
+        assert swapped is None
+        assert {d.code for d in diags} == {codes.VR004}
+
+    def test_checked_interchange_performs_legal_swap(self):
+        source = (
+            "REAL A(0:10, 0:10), B(0:10, 0:10)\nDO i = 0, 8\nDO j = 0, 8\n"
+            "A(i, j) = B(i, j)\nENDDO\nENDDO\n"
+        )
+        program = normalize_program(parse_fortran(source))
+        graph = analyze_dependences(program, normalized=True)
+        swapped, diags = checked_interchange(program, graph, "i")
+        assert diags == []
+        assert swapped.body[0].var == "j"
+
+
+class TestVR005Gaps:
+    def test_scalar_serialization_gap_warns(self):
+        graph, plan = compiled(SCALAR_SHARED)
+        diags = verify_schedule(plan, graph)
+        assert not errors(diags)
+        assert any(d.code == codes.VR005 for d in diags)
+
+    def test_gaps_flag_suppresses_the_warning(self):
+        graph, plan = compiled(SCALAR_SHARED)
+        assert verify_schedule(plan, graph, gaps=False) == []
+
+    def test_justified_serialization_does_not_warn(self):
+        graph, plan = compiled(RECURRENCE)
+        assert not any(
+            d.code == codes.VR005 for d in verify_schedule(plan, graph)
+        )
+
+
+class TestMutationHarness:
+    """Drop/weaken each edge of each paper example; the verifier (checking
+    against the full graph) must accept exactly the still-correct schedules.
+
+    The execution oracle initializes arrays to zero, which can mask a
+    genuine race with coincidentally-equal values — so the sound direction
+    is: accept implies execution matches; execution mismatch implies
+    reject.  A reject with matching execution is a data-masked race, not a
+    false positive (see ``test_known_rejecting_mutations``)."""
+
+    def harness(self, source):
+        program = normalize_program(parse_fortran(source))
+        graph = analyze_dependences(program, normalized=True)
+        serial = run_program(program).snapshot()
+        plan = vectorize(graph)
+        assert not errors(verify_schedule(plan, graph)), (
+            "false reject on the unmutated schedule"
+        )
+        assert run_schedule(plan).snapshot() == serial
+        outcomes = []
+        for index in range(len(graph.edges)):
+            for mutate in (drop_edge, weaken_edge):
+                mutated_plan = vectorize(mutate(graph, index))
+                rejected = bool(
+                    errors(verify_schedule(mutated_plan, graph))
+                )
+                matches = run_schedule(mutated_plan).snapshot() == serial
+                if not rejected:
+                    assert matches, (
+                        f"false accept: {mutate.__name__}({index}) on\n"
+                        f"{source}"
+                    )
+                if not matches:
+                    assert rejected, (
+                        f"missed race: {mutate.__name__}({index}) on\n"
+                        f"{source}"
+                    )
+                outcomes.append((mutate.__name__, index, rejected))
+        return outcomes
+
+    @pytest.mark.parametrize(
+        "source",
+        [RECURRENCE, EQUATION1, INDEPENDENT_PAIR, CARRIED_PAIR, SCALAR_SHARED],
+    )
+    def test_inline_examples(self, source):
+        self.harness(source)
+
+    def test_example_files(self):
+        for path in sorted(EXAMPLES.glob("*.f")):
+            self.harness(path.read_text())
+
+    def test_known_rejecting_mutations(self):
+        # Examples where one edge is load-bearing: dropping it must flip
+        # the schedule to an illegal one the verifier rejects.
+        for name in ("race_store.f", "shift5.f", "mhl91.f"):
+            outcomes = self.harness((EXAMPLES / name).read_text())
+            assert any(
+                rejected
+                for mutator, _, rejected in outcomes
+                if mutator == "drop_edge"
+            ), name
+        # The interchange example's race is masked by zero-initialized
+        # data, but the dropped-edge schedule is still statically illegal.
+        graph, _ = compiled((EXAMPLES / "race_interchange.f").read_text())
+        plan = vectorize(drop_edge(graph, 0))
+        assert error_codes(verify_schedule(plan, graph)) == {codes.VR001}
+
+
+class TestHypothesisDifferential:
+    @given(programs(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_verifier_matches_execution_oracle(self, source, data):
+        program = normalize_program(parse_fortran(source))
+        graph = analyze_dependences(program, normalized=True)
+        serial = run_program(program).snapshot()
+        plan = vectorize(graph)
+        assert not errors(verify_schedule(plan, graph)), source
+        assert run_schedule(plan).snapshot() == serial, source
+        if not graph.edges:
+            return
+        index = data.draw(
+            st.integers(0, len(graph.edges) - 1), label="edge"
+        )
+        mutate = data.draw(
+            st.sampled_from([drop_edge, weaken_edge]), label="mutation"
+        )
+        mutated_plan = vectorize(mutate(graph, index))
+        rejected = bool(errors(verify_schedule(mutated_plan, graph)))
+        matches = run_schedule(mutated_plan).snapshot() == serial
+        if not rejected:
+            assert matches, source
+        if not matches:
+            assert rejected, source
+
+
+class TestEdgeMutators:
+    def test_drop_edge_bounds_checked(self):
+        graph, _ = compiled(RECURRENCE)
+        with pytest.raises(ValueError):
+            drop_edge(graph, 1)
+        with pytest.raises(ValueError):
+            weaken_edge(graph, -1)
+
+    def test_mutators_do_not_touch_the_original(self):
+        graph, _ = compiled(RECURRENCE)
+        dropped = drop_edge(graph, 0)
+        weakened = weaken_edge(graph, 0)
+        assert len(graph.edges) == 1
+        assert len(dropped.edges) == 0
+        assert str(graph.edges[0].direction) == "(<)"
+        assert str(weakened.edges[0].direction) == "(=)"

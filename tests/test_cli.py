@@ -65,6 +65,77 @@ class TestVectorize:
         assert "DOALL" in out
 
 
+class TestVectorizeVerify:
+    RACE = "REAL D(0:5)\nDO 1 i = 0, 4\n1 D(i + 1) = D(i) + 1\n"
+    SWAP = (
+        "REAL A(0:10, 0:10)\nDO 1 i = 0, 8\nDO 1 j = 1, 9\n"
+        "1 A(i + 1, j - 1) = A(i, j)\n"
+    )
+
+    @pytest.fixture
+    def race_file(self, tmp_path):
+        path = tmp_path / "race.f"
+        path.write_text(self.RACE)
+        return path
+
+    @pytest.fixture
+    def swap_file(self, tmp_path):
+        path = tmp_path / "swap.f"
+        path.write_text(self.SWAP)
+        return path
+
+    def test_verify_is_on_by_default_and_clean(self, race_file, capsys):
+        assert main(["vectorize", str(race_file)]) == 0
+        assert "VR" not in capsys.readouterr().out
+
+    def test_drop_edge_is_rejected(self, race_file, capsys):
+        code = main(["vectorize", str(race_file), "--drop-edge", "0"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "[VR001]" in out
+        assert "D(1:5)" in out  # the (wrong) vector statement is shown
+
+    def test_no_verify_silences_the_rejection(self, race_file, capsys):
+        code = main(
+            ["vectorize", str(race_file), "--drop-edge", "0", "--no-verify"]
+        )
+        assert code == 0
+        assert "VR001" not in capsys.readouterr().out
+
+    def test_drop_edge_out_of_range(self, race_file, capsys):
+        assert main(["vectorize", str(race_file), "--drop-edge", "5"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_illegal_interchange_is_refused(self, swap_file, capsys):
+        code = main(["vectorize", str(swap_file), "--interchange", "i"])
+        assert code == 2
+        assert "[VR004]" in capsys.readouterr().out
+
+    def test_illegal_interchange_forced_without_verify(
+        self, swap_file, capsys
+    ):
+        code = main(
+            ["vectorize", str(swap_file), "--interchange", "i", "--no-verify"]
+        )
+        assert code == 0
+        assert "DO j" in capsys.readouterr().out
+
+    def test_legal_interchange_is_performed(self, tmp_path, capsys):
+        path = tmp_path / "ok.f"
+        path.write_text(
+            "REAL A(0:10, 0:10), B(0:10, 0:10)\nDO 1 i = 0, 8\n"
+            "DO 1 j = 0, 5\n1 A(i, j) = B(i, j)\n"
+        )
+        assert main(["vectorize", str(path), "--interchange", "i"]) == 0
+        out = capsys.readouterr().out
+        assert "A(0:8, 0:5)" in out
+        assert "VR" not in out
+
+    def test_unknown_interchange_variable(self, race_file, capsys):
+        assert main(["vectorize", str(race_file), "--interchange", "z"]) == 1
+        assert "no loop" in capsys.readouterr().err
+
+
 class TestVectorizeEmitC:
     def test_c_output(self, fortran_file, capsys):
         assert main(["vectorize", str(fortran_file), "--emit", "c"]) == 0
@@ -141,6 +212,68 @@ class TestLint:
         out = capsys.readouterr().out
         assert "[DL001]" in out
         assert "3:" in out
+
+    def test_json_has_schema_version(self, fortran_file, capsys):
+        import json
+
+        from repro.lint import SCHEMA_VERSION
+
+        assert main(["lint", str(fortran_file), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == SCHEMA_VERSION
+        assert payload["counts"] == {}
+
+    def test_schedule_flag_runs_clean(self, fortran_file, capsys):
+        assert main(["lint", str(fortran_file), "--schedule"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+class TestLintMultiFile:
+    @pytest.fixture
+    def pair(self, tmp_path):
+        clean = tmp_path / "b_clean.f"
+        clean.write_text(INTRO)
+        warn = tmp_path / "a_warn.f"
+        warn.write_text("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i+5) = 1\n")
+        return clean, warn
+
+    def test_combined_summary_and_worst_exit(self, pair, capsys):
+        clean, warn = pair
+        assert main(["lint", str(clean), str(warn)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 1 warning(s)" in out
+        assert main(["lint", str(clean), str(warn), "--werror"]) == 2
+
+    def test_text_output_is_sorted_by_path(self, pair, capsys):
+        clean, warn = pair
+        # a_warn.f sorts before b_clean.f regardless of argument order.
+        main(["lint", str(clean), str(warn)])
+        first = capsys.readouterr().out
+        main(["lint", str(warn), str(clean)])
+        second = capsys.readouterr().out
+        assert first == second
+        assert "a_warn.f" in first
+
+    def test_json_many_shape(self, pair, capsys):
+        import json
+
+        from repro.lint import SCHEMA_VERSION
+
+        clean, warn = pair
+        assert main(["lint", str(warn), str(clean), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == SCHEMA_VERSION
+        assert [f["file"] for f in payload["files"]] == sorted(
+            [str(warn), str(clean)]
+        )
+        assert payload["counts"] == {"warning": 1}
+        warn_entry = payload["files"][0]
+        assert warn_entry["counts"] == {"warning": 1}
+        assert warn_entry["diagnostics"][0]["code"] == "DL005"
+
+    def test_schedule_flag_catches_nothing_on_clean_pair(self, pair, capsys):
+        clean, warn = pair
+        assert main(["lint", str(clean), str(warn), "--schedule"]) == 0
 
 
 class TestCensus:

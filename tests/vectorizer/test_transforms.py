@@ -121,6 +121,49 @@ class TestInterchangeLegality:
         )
         assert interchange_legal(graph, 1, 2)
 
+    def test_star_directions_block_interchange(self):
+        # Non-affine subscripts defeat the analysis: the assumed (*, *)
+        # edges contain (<, >), so the swap must be judged illegal.
+        graph = graph_of(
+            """
+            REAL A(0:200)
+            DO 1 i = 0, 8
+            DO 1 j = 0, 8
+            1 A(i*j) = A(i*j+1) + 1
+            """
+        )
+        assert all(e.assumed for e in graph.edges)
+        assert not interchange_legal(graph, 1, 2)
+
+    def test_less_star_blocks_interchange(self):
+        # (<, *) contains (<, >): swapping yields the negative (>, <).
+        graph = graph_of(
+            """
+            REAL A(0:20, 0:200)
+            DO 1 i = 0, 8
+            DO 1 j = 0, 8
+            1 A(i+1, i*j) = A(i, i*j+1)
+            """
+        )
+        assert any(str(e.direction) == "(<, *)" for e in graph.edges)
+        assert not interchange_legal(graph, 1, 2)
+
+    def test_depth_mismatched_nest_does_not_block(self):
+        # The recurrence lives outside the j loop (a 1-long vector), so it
+        # cannot constrain an interchange of levels 1 and 2.
+        graph = graph_of(
+            """
+            REAL D(0:9), A(0:10, 0:10)
+            DO i = 0, 8
+            D(i+1) = D(i)
+            DO j = 0, 8
+            A(i, j) = A(i, j) + 1
+            ENDDO
+            ENDDO
+            """
+        )
+        assert interchange_legal(graph, 1, 2)
+
 
 class TestInterchangeTransform:
     SOURCE = """
