@@ -26,6 +26,7 @@ import sys
 from pathlib import Path
 
 from .core import delinearize
+from .core.chaos import DEFAULT_RATE, ChaosState, maybe_chaos, state_from_env
 from .corpus import RICEPS_PROFILES, census_source, generate_riceps_program
 from .deptests import DependenceProblem, Verdict, run_all
 from .driver import compile_c, compile_fortran
@@ -38,10 +39,23 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        with maybe_chaos(_chaos_state(args)):
+            return args.handler(args)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _chaos_state(args) -> ChaosState | None:
+    """Fault-injection state from ``--chaos-*`` flags or ``REPRO_CHAOS_*``.
+
+    Explicit flags win over the environment; with neither, chaos stays off.
+    """
+    seed = getattr(args, "chaos_seed", None)
+    if seed is None:
+        return state_from_env()
+    rate = getattr(args, "chaos_rate", None)
+    return ChaosState(seed, DEFAULT_RATE if rate is None else rate)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +206,28 @@ def _add_source_args(
         action="store_true",
         help="do not infer assumptions from declarations and value ranges",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="re-raise internal analysis errors instead of degrading to "
+        "conservative fallbacks (recommended in CI)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="enable deterministic fault injection with this seed "
+        "(testing knob; see also REPRO_CHAOS_SEED)",
+    )
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fault probability per injection-site hit (default "
+        f"{DEFAULT_RATE}; only with --chaos-seed)",
+    )
 
 
 def _language_for(path: Path, lang: str | None) -> str:
@@ -208,12 +244,21 @@ def _compile(args, verify: bool = True):
     source = args.file.read_text()
     assumptions = _parse_assumptions(args.assume)
     derive = not getattr(args, "no_derived_bounds", False)
+    strict = getattr(args, "strict", False)
     if _language_of(args) == "c":
         return compile_c(
-            source, assumptions, derive_bounds=derive, verify=verify
+            source,
+            assumptions,
+            derive_bounds=derive,
+            verify=verify,
+            strict=strict,
         )
     return compile_fortran(
-        source, assumptions, derive_bounds=derive, verify=verify
+        source,
+        assumptions,
+        derive_bounds=derive,
+        verify=verify,
+        strict=strict,
     )
 
 
@@ -244,6 +289,8 @@ def _cmd_vectorize(args) -> int:
             print()
         _print_plan(report.plan, args.emit)
         for diag in report.schedule_diagnostics:
+            print(diag)
+        for diag in report.degradations:
             print(diag)
         return 0 if report.schedule_ok else 2
 
@@ -324,8 +371,9 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .lint import render_json, render_json_many, render_text
-    from .lint.engine import lint_source
+    from .lint import codes, render_json, render_json_many, render_text
+    from .lint.diagnostics import Diagnostic
+    from .lint.engine import LintReport, lint_source
 
     assumptions = _parse_assumptions(args.assume)
     # Sorted by path so multi-file output (and JSON) is deterministic
@@ -333,13 +381,24 @@ def _cmd_lint(args) -> int:
     paths = sorted(args.files, key=str)
     reports = []
     for path in paths:
+        language = _language_for(path, args.lang)
+        # An unreadable file becomes a DL008 report so the remaining files
+        # are still linted (one bad path must not abort the whole run).
+        try:
+            source = path.read_text()
+        except OSError as error:
+            report = LintReport(language)
+            report.diagnostics = [Diagnostic.make(codes.DL008, str(error))]
+            reports.append((path, report))
+            continue
         report = lint_source(
-            path.read_text(),
-            language=_language_for(path, args.lang),
+            source,
+            language=language,
             assumptions=assumptions,
             audit=not args.no_audit,
             ranges=not args.no_derived_bounds,
             schedule=args.schedule,
+            strict=args.strict,
         )
         reports.append((path, report))
 

@@ -40,7 +40,9 @@ from typing import Callable
 from ..dirvec.vectors import DirVec, DistanceElem, DistanceVec, merge_direction_sets
 from ..symbolic import Assumptions, LinExpr, Poly, poly_gcd_many
 from ..deptests.problem import DependenceProblem, Verdict
+from .chaos import chaos_point
 from .groups import GroupSolution, solve_group
+from .resilience import Budget
 
 GroupSolver = Callable[[LinExpr, DependenceProblem], GroupSolution]
 
@@ -115,6 +117,7 @@ def delinearize(
     group_solver: GroupSolver | None = None,
     keep_trace: bool = False,
     use_fast_path: bool = True,
+    budget: Budget | None = None,
 ) -> DelinearizationResult:
     """Run the Figure-4 algorithm on every equation of ``problem``.
 
@@ -122,8 +125,20 @@ def delinearize(
     makes the problem independent; direction-vector sets merge by
     intersection; the problem is proven DEPENDENT only when every equation's
     every group is exactly solvable and solvable.
+
+    A caller-supplied ``budget`` is charged per scan step and threaded into
+    the default group solver's concrete enumeration; exhaustion raises
+    :exc:`~repro.core.resilience.BudgetExhausted`, which the per-pair
+    barrier in :mod:`repro.depgraph.builder` turns into a conservative
+    assumed dependence.
     """
-    solver = group_solver or solve_group
+    chaos_point("delinearize.scan")
+    if group_solver is not None:
+        solver = group_solver
+    elif budget is not None:
+        solver = lambda eq, prob: solve_group(eq, prob, budget=budget)  # noqa: E731
+    else:
+        solver = solve_group
     combined = DelinearizationResult(
         verdict=Verdict.DEPENDENT,
         direction_vectors={DirVec.star(problem.common_levels)},
@@ -138,11 +153,11 @@ def delinearize(
             )
         ):
             result = _delinearize_equation_int(
-                equation, problem, sort_coefficients, solver, keep_trace
+                equation, problem, sort_coefficients, solver, keep_trace, budget
             )
         else:
             result = _delinearize_equation(
-                equation, problem, sort_coefficients, solver, keep_trace
+                equation, problem, sort_coefficients, solver, keep_trace, budget
             )
         combined.trace.extend(result.trace)
         combined.groups.extend(result.groups)
@@ -188,6 +203,7 @@ def _delinearize_equation(
     sort_coefficients: bool,
     solver: GroupSolver,
     keep_trace: bool,
+    budget: Budget | None = None,
 ) -> DelinearizationResult:
     assumptions = problem.assumptions
     result = DelinearizationResult(
@@ -218,6 +234,8 @@ def _delinearize_equation(
     fully_separated = False
 
     for k in range(n + 1):
+        if budget is not None:
+            budget.charge()
         gk = suffix_gcd[k] if k < n else None  # None = infinity
         pre_smin, pre_smax = smin, smax
         if gk is None:
@@ -330,6 +348,7 @@ def _delinearize_equation_int(
     sort_coefficients: bool,
     solver: GroupSolver,
     keep_trace: bool,
+    budget: Budget | None = None,
 ) -> DelinearizationResult:
     """Plain-integer specialization of the scan (identical semantics).
 
@@ -364,6 +383,8 @@ def _delinearize_equation_int(
     fully_separated = False
 
     for k in range(n + 1):
+        if budget is not None:
+            budget.charge()
         gk = suffix_gcd[k] if k < n else None  # None = infinity
         pre_smin, pre_smax = smin, smax
         barrier: tuple[int, int, int] | None = None

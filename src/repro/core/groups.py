@@ -29,6 +29,8 @@ from ..symbolic import Assumptions, LinExpr, Poly
 from ..deptests.banerjee import equation_banerjee_verdict
 from ..deptests.gcd import equation_gcd_verdict
 from ..deptests.problem import BoundedVar, DependenceProblem, Verdict
+from .chaos import chaos_point
+from .resilience import Budget
 
 
 @dataclass
@@ -49,8 +51,16 @@ def solve_group(
     equation: LinExpr,
     problem: DependenceProblem,
     exact_limit: int = 50_000,
+    budget: Budget | None = None,
 ) -> GroupSolution:
-    """Solve one separated equation in the context of ``problem``."""
+    """Solve one separated equation in the context of ``problem``.
+
+    A caller-supplied ``budget`` is charged for concrete enumeration (one
+    step per iteration point); exhaustion raises
+    :exc:`~repro.core.resilience.BudgetExhausted` for the per-pair barrier
+    to degrade conservatively.
+    """
+    chaos_point("groups.solve")
     assumptions = problem.assumptions
     names = sorted(equation.variables())
 
@@ -82,7 +92,7 @@ def solve_group(
     if single is not None:
         return single
 
-    concrete = _solvable_concretely(equation, problem, exact_limit)
+    concrete = _solvable_concretely(equation, problem, exact_limit, budget)
     if concrete is not None:
         return concrete
 
@@ -314,6 +324,7 @@ def _solvable_concretely(
     equation: LinExpr,
     problem: DependenceProblem,
     exact_limit: int,
+    budget: Budget | None = None,
 ) -> GroupSolution | None:
     names = sorted(equation.variables())
     sub_vars = [problem.variables[n] for n in names]
@@ -328,6 +339,8 @@ def _solvable_concretely(
         if size == 0:
             return GroupSolution(equation, Verdict.INDEPENDENT, None, method="enum")
         return None
+    if budget is not None:
+        budget.charge(size)
     levels = _involved_levels(names, problem)
     sub_problem = DependenceProblem(
         [equation],

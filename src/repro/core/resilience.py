@@ -1,0 +1,272 @@
+"""The resilience layer: unified work budgets and exception barriers.
+
+A production dependence analyzer must never let one pathological loop nest,
+parser edge case, or internal bug abort a whole compile.  The paper's own
+framing (Section 2's ``delta_test`` cascade) is a pipeline of tests where
+each is allowed to give up and fall through to a more conservative answer;
+this module makes that principle uniform across the codebase:
+
+* :class:`Budget` — a shared work allowance (steps plus an optional
+  wall-clock deadline) consumed by every bounded dependence test
+  (:mod:`repro.deptests.omega`, :mod:`repro.deptests.exhaustive`,
+  :mod:`repro.deptests.loop_residue`, :mod:`repro.deptests.acyclic`) and by
+  the delinearization scan/group enumeration.  Exhaustion is *sticky*: once
+  a budget says no it keeps saying no, so a caller can inspect
+  ``budget.exhausted`` after the fact and report an ``RS002`` degradation.
+* :exc:`BudgetExhausted` — the exception form of giving up, for call sites
+  (the delinearization scan) where threading a tri-state return through
+  many layers would obscure the algorithm.
+* :class:`Barrier` — an exception barrier for pipeline phases and
+  per-dependence-pair analysis.  On failure the protected computation
+  degrades to a caller-supplied *sound conservative fallback* and the
+  barrier records an ``RS`` diagnostic; with ``strict=True`` internal
+  errors re-raise instead (the mode CI runs in, so bugs still fail loudly
+  where they can be fixed).
+
+The soundness contract of every degradation in this codebase is checked by
+:func:`edge_covers` / :func:`uncovered_edges`: a degraded dependence graph
+must *cover* the fault-free graph — it may add conservative edges, never
+lose a true dependence.  The chaos harness (:mod:`repro.core.chaos`)
+asserts this invariant under seeded fault injection.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+#: Default per-dependence-pair step allowance.  Generous: the group solver's
+#: exact enumeration is capped at 50k points per group and the scan itself is
+#: linear in the coefficient count, so real programs never come close.
+DEFAULT_PAIR_BUDGET = 1_000_000
+
+
+class BudgetExhausted(Exception):
+    """A work budget ran out.
+
+    This is a *designed* outcome, not an internal error: barriers degrade it
+    to the conservative answer (``RS002``) in strict mode too.
+    """
+
+    def __init__(self, budget: "Budget"):
+        self.budget = budget
+        label = budget.label or "analysis"
+        limit = "?" if budget.limit is None else str(budget.limit)
+        super().__init__(f"{label} budget exhausted (limit {limit})")
+
+
+class Budget:
+    """A shared work allowance: bounded steps, optional deadline and depth.
+
+    ``spend(n)`` consumes ``n`` steps and returns False once the budget is
+    gone — the tri-state tests (:mod:`repro.deptests`) use this form and
+    answer ``MAYBE``.  ``charge(n)`` is the raising form for deep call
+    stacks (the delinearization scan): it raises :exc:`BudgetExhausted`,
+    which the per-pair barrier turns into a conservative assumed edge.
+
+    Exhaustion is sticky in every form, including the non-consuming
+    :meth:`covers` pre-check, so the owner of the budget can always tell
+    afterwards that the computation gave up somewhere inside.
+    """
+
+    __slots__ = (
+        "limit",
+        "remaining",
+        "deadline",
+        "clock",
+        "max_depth",
+        "depth",
+        "exhausted",
+        "label",
+        "_tick",
+    )
+
+    #: How often (in spends) the wall clock is consulted when a deadline is
+    #: set; a time call per step would dominate the work being metered.
+    _CLOCK_STRIDE = 64
+
+    def __init__(
+        self,
+        steps: int | None = None,
+        seconds: float | None = None,
+        max_depth: int | None = None,
+        label: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.limit = steps
+        self.remaining: float = math.inf if steps is None else steps
+        self.clock = clock
+        self.deadline = None if seconds is None else clock() + seconds
+        self.max_depth = max_depth
+        self.depth = 0
+        self.exhausted = False
+        self.label = label
+        self._tick = 0
+
+    def spend(self, amount: int = 1) -> bool:
+        """Consume ``amount`` steps; False once the budget is exhausted."""
+        if self.exhausted:
+            return False
+        self.remaining -= amount
+        if self.deadline is not None:
+            self._tick += 1
+            if (
+                self._tick % self._CLOCK_STRIDE == 1
+                and self.clock() > self.deadline
+            ):
+                self.exhausted = True
+                return False
+        if self.remaining > 0 and (
+            self.max_depth is None or self.depth < self.max_depth
+        ):
+            return True
+        self.exhausted = True
+        return False
+
+    def charge(self, amount: int = 1) -> None:
+        """Like :meth:`spend` but raises :exc:`BudgetExhausted` on refusal."""
+        if not self.spend(amount):
+            raise BudgetExhausted(self)
+
+    def covers(self, amount: int) -> bool:
+        """Non-consuming pre-check: would ``amount`` further steps fit?
+
+        A refusal marks the budget exhausted (sticky), because the caller is
+        about to give up on its account.
+        """
+        if self.exhausted:
+            return False
+        if self.remaining < amount:
+            self.exhausted = True
+            return False
+        return True
+
+
+class Barrier:
+    """An exception barrier: run phases, degrade failures to diagnostics.
+
+    Collected degradations are :class:`~repro.lint.diagnostics.Diagnostic`
+    objects with ``RS`` codes, so they render through the existing text and
+    versioned-JSON machinery with deterministic ordering.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.degradations: list = []
+        self.failed_phases: set[str] = set()
+
+    def note(
+        self,
+        code: str,
+        phase: str,
+        detail: str,
+        *,
+        severity: str | None = None,
+        statement: str | None = None,
+        span=None,
+    ) -> None:
+        """Record one degradation diagnostic."""
+        # Imported lazily: deptests modules import Budget from this module
+        # at load time, and lint.audit imports deptests — a module-level
+        # lint import here would tie the knot.
+        from ..lint.diagnostics import Diagnostic
+
+        self.degradations.append(
+            Diagnostic.make(
+                code,
+                f"{phase}: {detail}",
+                severity=severity,
+                statement=statement,
+                span=span,
+            )
+        )
+
+    def run(
+        self,
+        phase: str,
+        fn: Callable[[], object],
+        fallback: Callable[[], object] | None = None,
+        *,
+        code: str | None = None,
+        severity: str | None = None,
+        statement: str | None = None,
+        span=None,
+    ):
+        """Run ``fn``; on failure degrade to ``fallback()`` with a diagnostic.
+
+        Budget exhaustion degrades in *every* mode (giving up is a designed
+        outcome, recorded as ``RS002``); any other exception re-raises when
+        ``strict`` and otherwise records ``code`` (default ``RS003``).
+        """
+        from ..lint import codes
+
+        try:
+            return fn()
+        except BudgetExhausted as error:
+            self.failed_phases.add(phase)
+            self.note(
+                codes.RS002,
+                phase,
+                str(error),
+                severity=severity,
+                statement=statement,
+                span=span,
+            )
+        except Exception as error:  # noqa: BLE001 — the barrier's whole job
+            if self.strict:
+                raise
+            self.failed_phases.add(phase)
+            self.note(
+                code or codes.RS003,
+                phase,
+                f"{type(error).__name__}: {error}",
+                severity=severity,
+                statement=statement,
+                span=span,
+            )
+        return None if fallback is None else fallback()
+
+    def failed(self, phase: str) -> bool:
+        """Did ``phase`` degrade?"""
+        return phase in self.failed_phases
+
+
+# -- the soundness contract of degradation -------------------------------------
+
+
+def edge_covers(general, specific) -> bool:
+    """Does dependence edge ``general`` subsume ``specific``?
+
+    Same endpoints (statement labels and array), same kind, and every atomic
+    direction of ``specific`` contained in ``general``'s direction (a ``*``
+    element contains all three relations).  Distances are deliberately
+    ignored: dropping a known distance loses precision, never soundness.
+    """
+    if (
+        general.source.stmt.label != specific.source.stmt.label
+        or general.sink.stmt.label != specific.sink.stmt.label
+        or general.source.ref.array != specific.source.ref.array
+        or general.kind != specific.kind
+        or len(general.direction) != len(specific.direction)
+    ):
+        return False
+    return all(
+        general.direction.contains(atomic)
+        for atomic in specific.direction.atomic_vectors()
+    )
+
+
+def uncovered_edges(degraded, baseline) -> list:
+    """Baseline edges the degraded graph fails to cover.
+
+    This is invariant (2) of the fault-tolerant pipeline: a degraded
+    dependence graph's edges must be a *superset* of the fault-free graph's
+    edges — degradation may add conservative edges, never lose a true
+    dependence.  Returns the violating baseline edges (empty = sound).
+    """
+    missing = []
+    for edge in baseline.edges:
+        if not any(edge_covers(candidate, edge) for candidate in degraded.edges):
+            missing.append(edge)
+    return missing

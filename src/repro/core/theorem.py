@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from ..symbolic import Assumptions, LinExpr, Poly, PolyLike, poly_gcd_many
+from .chaos import chaos_point
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,7 @@ def condition_holds(
     Sound and incomplete for symbolic coefficients: True means the split is
     proven legal; False means it could not be proven.
     """
+    chaos_point("theorem.condition")
     assumptions = assumptions or Assumptions.empty()
     extremes = head_extremes(candidate.head, candidate.d0, assumptions)
     if extremes is None:

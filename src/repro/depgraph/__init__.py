@@ -4,6 +4,7 @@ from .builder import (
     Dependence,
     DependenceGraph,
     analyze_dependences,
+    conservative_graph,
     dependences_for_arrays,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "Dependence",
     "DependenceGraph",
     "analyze_dependences",
+    "conservative_graph",
     "dependences_for_arrays",
 ]

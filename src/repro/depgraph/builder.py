@@ -28,8 +28,10 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..analysis.normalize import normalize_program, rectangular_bounds
-from ..analysis.refpairs import PairProblem, build_pair_problem
+from ..analysis.refpairs import build_pair_problem
+from ..core.chaos import chaos_point
 from ..core.delinearize import DelinearizationResult, delinearize
+from ..core.resilience import DEFAULT_PAIR_BUDGET, Barrier, Budget
 from ..deptests.problem import Verdict
 from ..dirvec.vectors import (
     D_EQ,
@@ -79,6 +81,10 @@ class DependenceGraph:
     #: Soundness-auditor findings (``DS`` codes); populated when the graph
     #: was built with ``audit=True`` and empty on a clean audit.
     audit_diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Resilience findings (``RS`` codes): dependence pairs that degraded to
+    #: the conservative assumed answer on budget exhaustion (RS002) or an
+    #: internal dependence-test error (RS001).  Empty on a clean build.
+    degradations: list[Diagnostic] = field(default_factory=list)
 
     def between(self, source_label: str, sink_label: str) -> list[Dependence]:
         return [
@@ -151,6 +157,8 @@ def analyze_dependences(
     normalized: bool = False,
     audit: bool = False,
     derive_bounds: bool = True,
+    strict: bool = False,
+    pair_budget: int | None = DEFAULT_PAIR_BUDGET,
 ) -> DependenceGraph:
     """Build the dependence graph of a program using delinearization.
 
@@ -164,6 +172,14 @@ def analyze_dependences(
     dependence pair — non-emptiness of every loop enclosing either
     reference.  This is the paper's Section 6 inference (``N >= 1`` from
     ``REAL A(0:N*N*N-1)``) made automatic.
+
+    Each dependence pair runs inside an exception barrier with a fresh work
+    budget of ``pair_budget`` steps (None disables metering).  A pair whose
+    analysis exhausts its budget or raises degrades to the sound
+    conservative answer — dependence assumed with the all-``*`` direction —
+    recorded on :attr:`DependenceGraph.degradations` as RS002/RS001.  With
+    ``strict=True`` internal errors re-raise instead (budget exhaustion
+    still degrades: giving up is a designed outcome).
     """
     assumptions = assumptions or Assumptions.empty()
     analyzed = program if normalized else normalize_program(program)
@@ -171,6 +187,7 @@ def analyze_dependences(
         assumptions = derive_assumptions(analyzed, assumptions)
     bounds = rectangular_bounds(analyzed)
     graph = DependenceGraph(analyzed)
+    barrier = Barrier(strict=strict)
 
     order = {
         stmt.label: index
@@ -188,8 +205,9 @@ def analyze_dependences(
                         continue
                 if first is second and not first.is_write:
                     continue  # self input dependences are meaningless
-                _analyze_pair(
+                _guarded_pair(
                     graph,
+                    barrier,
                     first,
                     second,
                     bounds,
@@ -197,10 +215,75 @@ def analyze_dependences(
                     order,
                     audit,
                     derive_bounds,
+                    pair_budget,
                 )
+    graph.degradations = sort_diagnostics(barrier.degradations)
     if audit:
         graph.audit_diagnostics = sort_diagnostics(graph.audit_diagnostics)
     return graph
+
+
+def _guarded_pair(
+    graph: DependenceGraph,
+    barrier: Barrier,
+    first: RefContext,
+    second: RefContext,
+    bounds: dict[str, Poly],
+    assumptions: Assumptions,
+    order: dict[str, int],
+    audit: bool,
+    derive_bounds: bool,
+    pair_budget: int | None,
+) -> None:
+    """Run one pair inside the barrier, degrading to assumed star edges.
+
+    Any edges the failed analysis appended before giving up are rolled back
+    first: a partial direction set can be *narrower* than the truth, and
+    narrower is unsound.  The assumed all-``*`` edges that replace them
+    cover every possible dependence.
+    """
+    from ..lint import codes
+
+    mark = len(graph.edges)
+    label = (
+        f"{first.stmt.label}:{first.ref.array} / "
+        f"{second.stmt.label}:{second.ref.array}"
+    )
+    budget = (
+        None
+        if pair_budget is None
+        else Budget(steps=pair_budget, label=f"pair {label}")
+    )
+
+    def analyze() -> None:
+        chaos_point("depgraph.pair")
+        _analyze_pair(
+            graph,
+            first,
+            second,
+            bounds,
+            assumptions,
+            order,
+            audit,
+            derive_bounds,
+            budget,
+        )
+
+    def degrade() -> None:
+        del graph.edges[mark:]
+        common = sum(
+            1 for a, b in zip(first.loops, second.loops) if a is b
+        )
+        _add_assumed_edges(graph, first, second, common)
+
+    barrier.run(
+        "dependence pair",
+        analyze,
+        degrade,
+        code=codes.RS001,
+        statement=label,
+        span=first.stmt.span,
+    )
 
 
 def _analyze_pair(
@@ -212,6 +295,7 @@ def _analyze_pair(
     order: dict[str, int],
     audit: bool = False,
     derive_bounds: bool = False,
+    budget: Budget | None = None,
 ) -> None:
     if derive_bounds:
         # A dependence requires both statement instances to execute, so the
@@ -223,9 +307,9 @@ def _analyze_pair(
         assumptions = nonempty_loop_assumptions(loop_vars, bounds, assumptions)
     pair = build_pair_problem(first, second, bounds, assumptions)
     if pair.problem is None:
-        _add_assumed_edges(graph, first, second, pair)
+        _add_assumed_edges(graph, first, second, pair.common_levels)
         return
-    result = delinearize(pair.problem, keep_trace=audit)
+    result = delinearize(pair.problem, keep_trace=audit, budget=budget)
     if audit:
         graph.audit_diagnostics.extend(
             audit_result(
@@ -334,10 +418,10 @@ def _add_assumed_edges(
     graph: DependenceGraph,
     first: RefContext,
     second: RefContext,
-    pair: PairProblem,
+    common_levels: int,
 ) -> None:
     """Conservative edges when no dimension was analyzable."""
-    star = DirVec.star(pair.common_levels)
+    star = DirVec.star(common_levels)
     graph.edges.append(
         Dependence(
             first,
@@ -366,3 +450,34 @@ def dependences_for_arrays(
 ) -> list[Dependence]:
     wanted = set(arrays)
     return [e for e in graph.edges if e.source.ref.array in wanted]
+
+
+def conservative_graph(
+    program: Program, include_input: bool = False
+) -> DependenceGraph:
+    """The maximally conservative graph: every pair assumed dependent.
+
+    The whole-analysis fallback for the driver's phase barrier: no
+    normalization, no bound derivation, no dependence testing — just
+    assumed all-``*`` edges between every pair of references to the same
+    array.  By construction it covers any graph the real analysis could
+    have produced, so degrading to it is always sound (and forces the
+    vectorizer into a fully serial schedule).
+    """
+    graph = DependenceGraph(program)
+    by_array: dict[str, list[RefContext]] = {}
+    for ref in collect_refs(program):
+        by_array.setdefault(ref.ref.array, []).append(ref)
+    for array_refs in by_array.values():
+        for i, first in enumerate(array_refs):
+            for second in array_refs[i:]:
+                if not (first.is_write or second.is_write):
+                    if not include_input:
+                        continue
+                if first is second and not first.is_write:
+                    continue
+                common = sum(
+                    1 for a, b in zip(first.loops, second.loops) if a is b
+                )
+                _add_assumed_edges(graph, first, second, common)
+    return graph

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.chaos import chaos_point
+from ..core.resilience import Budget
 from .problem import DependenceProblem, Verdict
 
 _MAX_ROUNDS = 64
@@ -78,11 +80,16 @@ class _VarState:
         return self.lo <= self.hi
 
 
-def acyclic_test(problem: DependenceProblem) -> Verdict:
+def acyclic_test(
+    problem: DependenceProblem, budget: Budget | None = None
+) -> Verdict:
+    chaos_point("deptest.acyclic")
     if not problem.is_concrete():
         return Verdict.MAYBE
     if not _is_acyclic(problem):
         return Verdict.MAYBE
+    if budget is None:
+        budget = Budget(steps=_MAX_ROUNDS, label="acyclic propagation")
     state = {
         name: _VarState(0, var.upper.as_int())
         for name, var in problem.variables.items()
@@ -98,7 +105,10 @@ def acyclic_test(problem: DependenceProblem) -> Verdict:
         for eq in problem.equations
     ]
 
-    for _ in range(_MAX_ROUNDS):
+    # Each propagation round costs one budget step; running out of budget
+    # just stops tightening early, which is sound (the pinned check below
+    # still verifies any fully-determined point before answering exactly).
+    while budget.spend():
         changed = False
         for coeffs, constant in equations:
             if not coeffs:

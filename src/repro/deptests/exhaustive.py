@@ -7,21 +7,41 @@ Every other test's soundness is property-checked against this module.
 
 from __future__ import annotations
 
+from ..core.chaos import chaos_point
+from ..core.resilience import Budget
 from ..dirvec.vectors import DirVec, DistanceElem, DistanceVec
 from .problem import DependenceProblem, Verdict
 
 
 class TooLarge(Exception):
-    """The iteration space exceeds the enumeration budget."""
+    """The iteration space exceeds the enumeration budget.
+
+    Only the raw vector-enumeration oracles raise this (their callers
+    pre-check sizes); the :class:`Verdict`-valued :func:`exhaustive_test`
+    answers MAYBE instead, like every other budgeted dependence test.
+    """
 
 
 def exhaustive_test(
-    problem: DependenceProblem, max_points: int = 2_000_000
+    problem: DependenceProblem,
+    max_points: int = 2_000_000,
+    budget: Budget | None = None,
 ) -> Verdict:
-    """Exact INDEPENDENT/DEPENDENT by enumeration (concrete problems only)."""
+    """Exact INDEPENDENT/DEPENDENT by enumeration (concrete problems only).
+
+    An iteration space larger than the budget answers MAYBE — never raises.
+    A caller-supplied ``budget`` (shared across a pair's test cascade)
+    overrides ``max_points`` and is charged for the whole enumeration.
+    """
+    chaos_point("deptest.exhaustive")
     if not problem.is_concrete():
         return Verdict.MAYBE
-    _check_size(problem, max_points)
+    if budget is None:
+        budget = Budget(steps=max_points, label="exhaustive enumeration")
+    count = problem.iteration_count()
+    if not budget.covers(count):
+        return Verdict.MAYBE
+    budget.spend(count)
     for _ in problem.enumerate_solutions():
         return Verdict.DEPENDENT
     return Verdict.INDEPENDENT

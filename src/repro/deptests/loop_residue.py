@@ -24,13 +24,18 @@ from __future__ import annotations
 from fractions import Fraction
 from itertools import combinations
 
+from ..core.chaos import chaos_point
+from ..core.resilience import Budget
 from .problem import DependenceProblem, Verdict
 
 _ZERO = "__zero__"
 
 
-def simple_loop_residue_test(problem: DependenceProblem) -> Verdict:
+def simple_loop_residue_test(
+    problem: DependenceProblem, budget: Budget | None = None
+) -> Verdict:
     """Difference-constraint feasibility via negative-cycle detection."""
+    chaos_point("deptest.residue")
     if not problem.is_concrete():
         return Verdict.MAYBE
     # Edge u -> v with weight w encodes  v - u <= w.
@@ -67,6 +72,8 @@ def simple_loop_residue_test(problem: DependenceProblem) -> Verdict:
     nodes = {_ZERO, *problem.variables}
     distance = {node: 0 for node in nodes}
     for _ in range(len(nodes)):
+        if budget is not None and not budget.spend(len(edges)):
+            return Verdict.MAYBE
         updated = False
         for u, v, w in edges:
             if distance[u] + w < distance[v]:
@@ -80,10 +87,20 @@ def simple_loop_residue_test(problem: DependenceProblem) -> Verdict:
 _MAX_DERIVED = 2000
 
 
-def shostak_test(problem: DependenceProblem) -> Verdict:
-    """Real feasibility for <=2-variable constraints via residue closure."""
+def shostak_test(
+    problem: DependenceProblem, budget: Budget | None = None
+) -> Verdict:
+    """Real feasibility for <=2-variable constraints via residue closure.
+
+    The saturation loop is metered on ``budget`` (default: a fresh budget
+    of ``_MAX_DERIVED`` steps, one per derived residue); exhaustion answers
+    MAYBE, exactly as running into the old hard cap did.
+    """
+    chaos_point("deptest.shostak")
     if not problem.is_concrete():
         return Verdict.MAYBE
+    if budget is None:
+        budget = Budget(steps=_MAX_DERIVED, label="shostak saturation")
     # Constraints: ({var: coeff}, c) meaning sum <= c.
     constraints: set[tuple[tuple[tuple[str, Fraction], ...], Fraction]] = set()
 
@@ -115,7 +132,9 @@ def shostak_test(problem: DependenceProblem) -> Verdict:
 
     # Saturate: eliminate a shared variable between constraint pairs.
     changed = True
-    while changed and len(constraints) < _MAX_DERIVED:
+    while changed:
+        if not budget.spend():
+            return Verdict.MAYBE
         changed = False
         for first, second in combinations(list(constraints), 2):
             derived = _combine(first, second)
@@ -131,6 +150,8 @@ def shostak_test(problem: DependenceProblem) -> Verdict:
                 return Verdict.INDEPENDENT
             if len(constraints) != before:
                 changed = True
+                if not budget.spend():
+                    return Verdict.MAYBE
     return Verdict.MAYBE
 
 

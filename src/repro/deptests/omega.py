@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass, field
 from itertools import count
 
+from ..core.chaos import chaos_point
+from ..core.resilience import Budget
 from .problem import DependenceProblem, Verdict
 
 #: Affine constraint over variable names: coeffs + const, either ">= 0" or "== 0".
@@ -53,24 +55,23 @@ class _System:
 _MAX_DEPTH = 40
 
 
-class _Budget:
-    """A work counter shared across the splinter recursion."""
-
-    def __init__(self, limit: int):
-        self.remaining = limit
-        self.depth = 0
-
-    def spend(self, amount: int = 1) -> bool:
-        self.remaining -= amount
-        return self.remaining > 0 and self.depth < _MAX_DEPTH
-
-
 def omega_test(
-    problem: DependenceProblem, work_limit: int = 60_000
+    problem: DependenceProblem,
+    work_limit: int = 60_000,
+    budget: Budget | None = None,
 ) -> Verdict:
-    """Exact integer (in)feasibility of the dependence system."""
+    """Exact integer (in)feasibility of the dependence system.
+
+    A caller-supplied ``budget`` (shared across a dependence pair's whole
+    test cascade) overrides ``work_limit``; exhaustion answers MAYBE.
+    """
+    chaos_point("deptest.omega")
     if not problem.is_concrete():
         return Verdict.MAYBE
+    if budget is None:
+        budget = Budget(steps=work_limit, label="omega")
+    if budget.max_depth is None:
+        budget.max_depth = _MAX_DEPTH
     system = _System()
     for eq in problem.equations:
         coeffs = {n: c.as_int() for n, c in eq.coeffs.items()}
@@ -79,7 +80,7 @@ def omega_test(
         upper = var.upper.as_int()
         system.inequalities.append(({name: 1}, 0))  # x >= 0
         system.inequalities.append(({name: -1}, upper))  # upper - x >= 0
-    answer = _feasible(system, _Budget(work_limit))
+    answer = _feasible(system, budget)
     if answer is None:
         return Verdict.MAYBE
     return Verdict.DEPENDENT if answer else Verdict.INDEPENDENT
@@ -88,7 +89,7 @@ def omega_test(
 # -- the solver -----------------------------------------------------------------
 
 
-def _feasible(system: _System, budget: _Budget) -> bool | None:
+def _feasible(system: _System, budget: Budget) -> bool | None:
     """True / False exactly, None when the budget runs out."""
     if not budget.spend():
         return None
@@ -102,7 +103,7 @@ def _feasible(system: _System, budget: _Budget) -> bool | None:
         budget.depth -= 1
 
 
-def _eliminate_equalities(system: _System, budget: _Budget) -> bool | None:
+def _eliminate_equalities(system: _System, budget: Budget) -> bool | None:
     """Drain the equalities; returns False on contradiction, None to go on."""
     while system.equalities:
         if not budget.spend():
@@ -174,7 +175,7 @@ def _symmetric_mod(a: int, b: int) -> int:
     return r
 
 
-def _eliminate_inequalities(system: _System, budget: _Budget) -> bool | None:
+def _eliminate_inequalities(system: _System, budget: Budget) -> bool | None:
     inequalities = _normalize_all(system.inequalities)
     if inequalities is None:
         return False
@@ -198,7 +199,7 @@ def _eliminate_inequalities(system: _System, budget: _Budget) -> bool | None:
             # Unbounded in one direction: drop all constraints on the var.
             inequalities = rest
             continue
-        if len(lowers) * len(uppers) > budget.remaining:
+        if not budget.covers(len(lowers) * len(uppers)):
             return None
         exact = True
         dark_contradiction = False
@@ -243,7 +244,7 @@ def _eliminate_inequalities(system: _System, budget: _Budget) -> bool | None:
 
 
 def _check(
-    inequalities: list[tuple[Coeffs, int]], budget: _Budget
+    inequalities: list[tuple[Coeffs, int]], budget: Budget
 ) -> bool | None:
     subsystem = _System([], [(dict(c), k) for c, k in inequalities])
     return _feasible(subsystem, budget)
@@ -254,7 +255,7 @@ def _splinter(
     name: str,
     lowers: list[tuple[Coeffs, int]],
     uppers: list[tuple[Coeffs, int]],
-    budget: _Budget,
+    budget: Budget,
 ) -> bool | None:
     """Pugh's splintering: case-split the lower bounds into equalities.
 

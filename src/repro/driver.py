@@ -6,6 +6,14 @@ induction variables, linearize EQUIVALENCE alias groups, build the
 dependence graph with delinearization, run Allen-Kennedy vectorization,
 statically verify the resulting schedule against the graph, and emit the
 transformed program — collecting a per-phase report along the way.
+
+Every phase after parsing runs inside an exception barrier
+(:class:`repro.core.resilience.Barrier`): an internal error degrades the
+phase to its sound conservative fallback — the untransformed program, the
+all-assumed :func:`repro.depgraph.conservative_graph`, the fully serial
+:func:`repro.vectorizer.serial_plan` — and records an ``RS`` diagnostic on
+:attr:`CompilationReport.degradations` instead of aborting the compile.
+With ``strict=True`` (the mode CI runs in) internal errors re-raise.
 """
 
 from __future__ import annotations
@@ -20,14 +28,17 @@ from .analysis import (
 )
 from .analysis.linearize import alias_groups
 from .analysis.pointers import convert_pointers
-from .depgraph import DependenceGraph, analyze_dependences
+from .core.resilience import Barrier
+from .depgraph import DependenceGraph, analyze_dependences, conservative_graph
 from .frontend import parse_c, parse_fortran
 from .ir import Program, format_program
-from .lint.diagnostics import Diagnostic
+from .lint import codes
+from .lint.diagnostics import Diagnostic, sort_diagnostics
 from .symbolic import Assumptions
 from .vectorizer import (
     VectorizationResult,
     emit_program,
+    serial_plan,
     vectorize,
     verify_schedule,
 )
@@ -48,6 +59,10 @@ class CompilationReport:
     #: with ``verify=True`` (the default) and empty for a clean schedule
     #: (advisory VR005 warnings aside).
     schedule_diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Resilience findings (``RS`` codes): phases or dependence pairs that
+    #: degraded to their conservative fallback instead of crashing.  Empty
+    #: on a fault-free compile.
+    degradations: list[Diagnostic] = field(default_factory=list)
 
     @property
     def dependence_count(self) -> int:
@@ -59,6 +74,11 @@ class CompilationReport:
         return not any(
             d.severity == "error" for d in self.schedule_diagnostics
         )
+
+    @property
+    def degraded(self) -> bool:
+        """Did any phase or dependence pair fall back conservatively?"""
+        return bool(self.degradations)
 
     @property
     def audit_diagnostics(self) -> list[Diagnostic]:
@@ -96,6 +116,11 @@ class CompilationReport:
                 )
             else:
                 lines.append("schedule verification: clean")
+        if self.degradations:
+            lines.append(
+                f"degradations: {len(self.degradations)} "
+                "(conservative fallbacks taken; see report.degradations)"
+            )
         return "\n".join(lines)
 
 
@@ -107,6 +132,7 @@ def compile_fortran(
     audit: bool = False,
     derive_bounds: bool = True,
     verify: bool = True,
+    strict: bool = False,
 ) -> CompilationReport:
     """Run the whole pipeline on FORTRAN source text.
 
@@ -116,48 +142,55 @@ def compile_fortran(
     array extents, loop ranges and interval analysis (user assumptions only).
     ``verify`` (on by default) runs the static schedule verifier over the
     vectorizer's output; findings appear in ``report.schedule_diagnostics``.
+    ``strict=True`` re-raises internal errors instead of degrading phases
+    conservatively (budget exhaustion still degrades — giving up on an
+    oversized dependence system is a designed outcome, not a bug).
     """
+    barrier = Barrier(strict=strict)
     phases = ["parse"]
     program = parse_fortran(source)
-    program = normalize_program(program)
+
+    program = barrier.run(
+        "normalize", lambda: normalize_program(program), lambda: program
+    )
     phases.append("normalize")
-    if substitute_ivs:
-        rewritten = substitute_induction_variables(program)
+    if substitute_ivs and not barrier.failed_phases:
+        base = program
+        rewritten = barrier.run(
+            "induction-variables",
+            lambda: substitute_induction_variables(base),
+            lambda: base,
+        )
         if rewritten is not program:
             phases.append("induction-variables")
         program = rewritten
-    if linearize_aliases and alias_groups(program):
-        program = linearize_program(program)
-        program = normalize_program(program)  # renumber statements
-        phases.append("linearize-aliases")
-    if linearize_aliases and program.commons:
-        program = linearize_common(program)
-        phases.append("linearize-common")
-    graph = analyze_dependences(
-        program,
-        assumptions=assumptions,
-        normalized=True,
-        audit=audit,
-        derive_bounds=derive_bounds,
-    )
-    phases.append("dependence-analysis")
-    if audit:
-        phases.append("soundness-audit")
-    plan = vectorize(graph)
-    phases.append("vectorize")
-    schedule_diags: list[Diagnostic] = []
-    if verify:
-        schedule_diags = verify_schedule(plan, graph)
-        phases.append("verify-schedule")
-    return CompilationReport(
+    if linearize_aliases and not barrier.failed_phases:
+        base = program
+
+        def run_linearize() -> Program:
+            result = base
+            if alias_groups(result):
+                result = linearize_program(result)
+                result = normalize_program(result)  # renumber statements
+                phases.append("linearize-aliases")
+            if result.commons:
+                result = linearize_common(result)
+                phases.append("linearize-common")
+            return result
+
+        program = barrier.run("linearize-aliases", run_linearize, lambda: base)
+
+    return _back_half(
         source,
         "fortran",
         program,
-        graph,
-        plan,
-        emit_program(plan),
+        barrier,
         phases,
-        schedule_diags,
+        assumptions=assumptions,
+        audit=audit,
+        derive_bounds=derive_bounds,
+        verify=verify,
+        strict=strict,
     )
 
 
@@ -167,42 +200,143 @@ def compile_c(
     audit: bool = False,
     derive_bounds: bool = True,
     verify: bool = True,
+    strict: bool = False,
 ) -> CompilationReport:
     """Run the whole pipeline on C source text (see :func:`compile_fortran`
-    for the ``audit``, ``derive_bounds`` and ``verify`` flags)."""
+    for the ``audit``, ``derive_bounds``, ``verify`` and ``strict`` flags)."""
+    barrier = Barrier(strict=strict)
     phases = ["parse"]
     program, info = parse_c(source)
     if info.pointers:
-        program = convert_pointers(program, info)
-        phases.append("pointer-conversion")
-    program = normalize_program(program)
-    phases.append("normalize")
-    graph = analyze_dependences(
-        program,
-        assumptions=assumptions,
-        normalized=True,
-        audit=audit,
-        derive_bounds=derive_bounds,
+        base = program
+        converted = barrier.run(
+            "pointer-conversion",
+            lambda: convert_pointers(base, info),
+            lambda: base,
+        )
+        if converted is not program:
+            phases.append("pointer-conversion")
+        program = converted
+    base = program
+    program = barrier.run(
+        "normalize", lambda: normalize_program(base), lambda: base
     )
-    phases.append("dependence-analysis")
-    if audit:
-        phases.append("soundness-audit")
-    plan = vectorize(graph)
-    phases.append("vectorize")
-    schedule_diags: list[Diagnostic] = []
-    if verify:
-        schedule_diags = verify_schedule(plan, graph)
-        phases.append("verify-schedule")
-    return CompilationReport(
+    phases.append("normalize")
+    return _back_half(
         source,
         "c",
         program,
+        barrier,
+        phases,
+        assumptions=assumptions,
+        audit=audit,
+        derive_bounds=derive_bounds,
+        verify=verify,
+        strict=strict,
+    )
+
+
+def _back_half(
+    source: str,
+    language: str,
+    program: Program,
+    barrier: Barrier,
+    phases: list[str],
+    *,
+    assumptions: Assumptions | None,
+    audit: bool,
+    derive_bounds: bool,
+    verify: bool,
+    strict: bool,
+) -> CompilationReport:
+    """Dependence analysis through emission, each phase barriered.
+
+    When any front-end phase already degraded, the real dependence analysis
+    is skipped outright: the program may be un-normalized or carry
+    unlinearized aliases the analysis would silently mismodel.  The
+    conservative graph plus a fully serial plan is sound regardless.
+    """
+    front_degraded = bool(barrier.failed_phases)
+    if front_degraded:
+        barrier.note(
+            codes.RS003,
+            "dependence-analysis",
+            "front-end degraded; conservative dependence graph assumed",
+        )
+        graph = barrier.run(
+            "dependence-analysis",
+            lambda: conservative_graph(program),
+            lambda: DependenceGraph(program),
+        )
+    else:
+        graph = barrier.run(
+            "dependence-analysis",
+            lambda: analyze_dependences(
+                program,
+                assumptions=assumptions,
+                normalized=True,
+                audit=audit,
+                derive_bounds=derive_bounds,
+                strict=strict,
+            ),
+            lambda: conservative_graph(program),
+        )
+    phases.append("dependence-analysis")
+    if audit and not barrier.failed("dependence-analysis"):
+        phases.append("soundness-audit")
+
+    if front_degraded or barrier.failed("dependence-analysis"):
+        # Aliasing or normalization may be mismodelled: even the assumed
+        # edges cannot be trusted to cover cross-array conflicts, so the
+        # only legal schedule is the original serial one.
+        plan = serial_plan(program)
+    else:
+        plan = barrier.run(
+            "vectorize", lambda: vectorize(graph), lambda: serial_plan(program)
+        )
+    phases.append("vectorize")
+
+    schedule_diags: list[Diagnostic] = []
+    if verify:
+        schedule_diags = barrier.run(
+            "verify-schedule",
+            lambda: verify_schedule(plan, graph),
+            lambda: [
+                Diagnostic.make(
+                    codes.RS003,
+                    "verify-schedule: verifier failed; schedule is unverified",
+                    severity="error",
+                )
+            ],
+        )
+        phases.append("verify-schedule")
+
+    output = barrier.run(
+        "emit",
+        lambda: emit_program(plan),
+        lambda: _fallback_output(program, source),
+    )
+    phases.append("emit")
+
+    return CompilationReport(
+        source,
+        language,
+        program,
         graph,
         plan,
-        emit_program(plan),
+        output,
         phases,
         schedule_diags,
+        sort_diagnostics([*graph.degradations, *barrier.degradations]),
     )
+
+
+def _fallback_output(program: Program, source: str) -> str:
+    """Emit-phase fallback: the untransformed program, or the raw source."""
+    try:
+        return format_program(program)
+    except Exception:  # noqa: BLE001 — last resort under a failing emitter
+        return source
 
 
 def analyzed_source(report: CompilationReport) -> str:

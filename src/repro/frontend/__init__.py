@@ -1,7 +1,13 @@
 """Source-language frontends (FORTRAN-77 subset and C subset)."""
 
 from .c import CParseInfo, parse_c
-from .errors import ParseError
+from .errors import ParseError, ParseErrorGroup
 from .fortran import parse_fortran
 
-__all__ = ["CParseInfo", "ParseError", "parse_c", "parse_fortran"]
+__all__ = [
+    "CParseInfo",
+    "ParseError",
+    "ParseErrorGroup",
+    "parse_c",
+    "parse_fortran",
+]

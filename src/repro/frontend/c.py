@@ -44,7 +44,7 @@ from ..ir import (
     Stmt,
     UnaryOp,
 )
-from .errors import ParseError
+from .errors import ParseError, ParseErrorGroup
 from .lexer import IDENT, INT, OP, Token, TokenStream, tokenize
 
 _C_TYPES = ("float", "double", "int", "long", "char", "unsigned")
@@ -69,14 +69,37 @@ class CParseInfo:
     scalars: set[str] = field(default_factory=set)
 
 
-def parse_c(source: str, name: str = "main") -> tuple[Program, CParseInfo]:
-    """Parse C source text; returns the program and pointer side-info."""
+def parse_c(
+    source: str, name: str = "main", recover: bool = False
+) -> tuple[Program, CParseInfo]:
+    """Parse C source text; returns the program and pointer side-info.
+
+    With ``recover=True`` syntax errors do not stop the parse: each is
+    recorded and the parser synchronizes past the next ``;`` or ``}``.  If
+    any errors were collected, a :class:`ParseErrorGroup` carrying all of
+    them (plus the partial program and side-info) is raised at the end.
+    """
+    errors: list[ParseError] = []
     tokens = [
         t
-        for t in tokenize(source, comment_chars="", c_comments=True)
+        for t in tokenize(
+            source,
+            comment_chars="",
+            c_comments=True,
+            errors=errors if recover else None,
+        )
         if t.kind != "NEWLINE"
     ]
     parser = _CParser(tokens, name)
+    if recover:
+        program, info = parser.parse_program_recovering(errors)
+        program.number_statements()
+        if errors:
+            # Lexer errors are collected before parse errors; re-sort into
+            # source order so reports read top to bottom.
+            errors.sort(key=lambda e: (e.line or 0, e.column or 0))
+            raise ParseErrorGroup(errors, program=program, info=info)
+        return program, info
     program, info = parser.parse_program()
     program.number_statements()
     return program, info
@@ -92,6 +115,27 @@ class _CParser:
         while not self.ts.at_eof():
             self.program.body.extend(self.parse_statement())
         return self.program, self.info
+
+    def parse_program_recovering(
+        self, errors: list[ParseError]
+    ) -> tuple[Program, CParseInfo]:
+        """Parse with error recovery: synchronize past the next ';' or '}'."""
+        while not self.ts.at_eof():
+            mark = self.ts.position()
+            try:
+                self.program.body.extend(self.parse_statement())
+            except ParseError as error:
+                errors.append(error)
+                self._synchronize(mark)
+        return self.program, self.info
+
+    def _synchronize(self, mark: int) -> None:
+        if self.ts.position() == mark and not self.ts.at_eof():
+            self.ts.next()
+        while not self.ts.at_eof():
+            token = self.ts.next()
+            if token.kind == OP and token.text in (";", "}"):
+                return
 
     # -- statements ------------------------------------------------------------
 

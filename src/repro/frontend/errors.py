@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+from ..ir.span import Span
+
 
 class ParseError(Exception):
-    """A syntax error with source location."""
+    """A syntax error carrying a source :class:`~repro.ir.Span`.
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    ``line``/``column`` remain available as plain attributes for callers
+    that predate spans; they are kept in lockstep with ``span``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        span: Span | None = None,
+    ):
+        if span is not None:
+            line = span.line if line is None else line
+            column = span.column if column is None else column
+        elif line is not None:
+            span = Span(line, 1 if column is None else column)
+        self.message = message
+        self.span = span
         self.line = line
         self.column = column
         location = ""
@@ -15,3 +34,27 @@ class ParseError(Exception):
             if column is not None:
                 location += f", column {column}"
         super().__init__(f"{message}{location}")
+
+
+class ParseErrorGroup(ParseError):
+    """Every syntax error a recovering parse collected from one file.
+
+    Raised by ``parse_fortran``/``parse_c`` when called with
+    ``recover=True`` and at least one statement failed to parse.  It
+    subclasses :class:`ParseError` (positioned at the first failure) so
+    ``except ParseError`` call sites keep working, while ``errors`` holds
+    the individual span-carrying errors and ``program`` whatever partial
+    parse survived (``info`` additionally carries the C side-table).
+    """
+
+    def __init__(self, errors, program=None, info=None):
+        self.errors: list[ParseError] = list(errors)
+        if not self.errors:
+            raise ValueError("ParseErrorGroup needs at least one error")
+        self.program = program
+        self.info = info
+        first = self.errors[0]
+        message = first.message
+        if len(self.errors) > 1:
+            message = f"{message} (+{len(self.errors) - 1} more)"
+        super().__init__(message, first.line, first.column, span=first.span)

@@ -37,19 +37,38 @@ from ..ir import (
     Stmt,
     UnaryOp,
 )
-from .errors import ParseError
+from .errors import ParseError, ParseErrorGroup
 from .lexer import EOF, IDENT, INT, NEWLINE, OP, Token, TokenStream, tokenize
 
 _TYPE_KEYWORDS = ("REAL", "INTEGER", "DOUBLE", "LOGICAL", "DIMENSION")
 
 
-def parse_fortran(source: str, name: str = "MAIN") -> Program:
+def parse_fortran(source: str, name: str = "MAIN", recover: bool = False) -> Program:
     """Parse FORTRAN source text into a :class:`~repro.ir.Program`.
 
     Statements are auto-numbered S1, S2, ... in textual order.
+
+    With ``recover=True`` the parser does not stop at the first syntax
+    error: it records the error, synchronizes at the next statement
+    boundary (newline), and keeps parsing, so one call reports *every*
+    broken statement.  If any errors were collected, a
+    :class:`ParseErrorGroup` is raised carrying them all plus the partial
+    program; otherwise the behaviour is identical to the default mode.
     """
-    tokens = tokenize(source, comment_chars="!")
+    errors: list[ParseError] = []
+    tokens = tokenize(
+        source, comment_chars="!", errors=errors if recover else None
+    )
     parser = _FortranParser(tokens, name)
+    if recover:
+        program = parser.parse_program_recovering(errors)
+        program.number_statements()
+        if errors:
+            # Lexer errors are collected before parse errors; re-sort into
+            # source order so reports read top to bottom.
+            errors.sort(key=lambda e: (e.line or 0, e.column or 0))
+            raise ParseErrorGroup(errors, program=program)
+        return program
     program = parser.parse_program()
     program.number_statements()
     return program
@@ -70,16 +89,51 @@ class _FortranParser:
         while not self.ts.at_eof():
             self.parse_line()
             self.ts.skip_newlines()
-        if self.loop_stack:
-            loop, label = self.loop_stack[-1]
-            terminator = f"label {label}" if label else "ENDDO"
-            where = loop.span or Span(0, 0)
-            raise ParseError(
-                f"DO {loop.var} never closed (missing {terminator})",
-                where.line,
-                where.column,
-            )
+        error = self._unclosed_loop_error()
+        if error is not None:
+            raise error
         return self.program
+
+    def parse_program_recovering(self, errors: list[ParseError]) -> Program:
+        """Parse with statement-boundary error recovery.
+
+        Each failed line appends its :class:`ParseError` to ``errors`` and
+        parsing resumes at the next newline; progress is forced so a stuck
+        token can never loop forever.
+        """
+        self.ts.skip_newlines()
+        while not self.ts.at_eof():
+            mark = self.ts.position()
+            try:
+                self.parse_line()
+            except ParseError as error:
+                errors.append(error)
+                self._synchronize(mark)
+            self.ts.skip_newlines()
+        error = self._unclosed_loop_error()
+        if error is not None:
+            errors.append(error)
+            self.loop_stack.clear()
+        return self.program
+
+    def _synchronize(self, mark: int) -> None:
+        """Skip to the next statement boundary, guaranteeing progress."""
+        if self.ts.position() == mark and not self.ts.at_eof():
+            self.ts.next()
+        while not self.ts.at(NEWLINE) and not self.ts.at_eof():
+            self.ts.next()
+
+    def _unclosed_loop_error(self) -> ParseError | None:
+        if not self.loop_stack:
+            return None
+        loop, label = self.loop_stack[-1]
+        terminator = f"label {label}" if label else "ENDDO"
+        where = loop.span or Span(0, 0)
+        return ParseError(
+            f"DO {loop.var} never closed (missing {terminator})",
+            where.line,
+            where.column,
+        )
 
     def parse_line(self) -> None:
         if self._at_type_keyword():

@@ -28,11 +28,19 @@ class Token:
         return f"{self.kind}({self.text!r})"
 
 
-def tokenize(source: str, comment_chars: str = "!", c_comments: bool = False) -> list[Token]:
+def tokenize(
+    source: str,
+    comment_chars: str = "!",
+    c_comments: bool = False,
+    errors: list[ParseError] | None = None,
+) -> list[Token]:
     """Tokenize source text into a flat token list with NEWLINE separators.
 
     ``comment_chars`` start a to-end-of-line comment anywhere on a line.
     With ``c_comments`` the sequences ``//`` and ``/* ... */`` are comments.
+    An unexpected character raises :class:`ParseError` — unless ``errors``
+    is given, in which case the error is appended there, the character is
+    skipped, and lexing continues (recovery mode).
     """
     tokens: list[Token] = []
     line_no = 0
@@ -89,7 +97,11 @@ def tokenize(source: str, comment_chars: str = "!", c_comments: bool = False) ->
                 pos += 1
                 emitted = True
                 continue
-            raise ParseError(f"unexpected character {ch!r}", line_no, pos + 1)
+            error = ParseError(f"unexpected character {ch!r}", line_no, pos + 1)
+            if errors is None:
+                raise error
+            errors.append(error)
+            pos += 1
         if emitted:
             tokens.append(Token(NEWLINE, "\n", line_no, length + 1))
     tokens.append(Token(EOF, "", line_no + 1, 1))
@@ -102,6 +114,10 @@ class TokenStream:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+
+    def position(self) -> int:
+        """Current cursor index (for progress checks during recovery)."""
+        return self._pos
 
     def peek(self, offset: int = 0) -> Token:
         index = min(self._pos + offset, len(self._tokens) - 1)

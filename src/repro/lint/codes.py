@@ -17,7 +17,11 @@ without parsing message text.  Codes are grouped by prefix:
   :mod:`repro.lint.schedule`;
 * ``DS0xx`` — soundness-auditor findings: internal-consistency failures of
   the delinearization analysis itself (these always indicate a bug in the
-  analyzer, never in the input program).
+  analyzer, never in the input program);
+* ``RS0xx`` — resilience findings: the pipeline degraded to a sound
+  conservative answer instead of crashing (budget exhaustion, internal
+  errors caught by a barrier, parser recovery), powered by
+  :mod:`repro.core.resilience`.
 
 ``docs/DIAGNOSTICS.md`` catalogues each code with an example.
 """
@@ -64,6 +68,7 @@ DL004 = _register("DL004", WARNING, "subscript can underrun declared bounds")
 DL005 = _register("DL005", WARNING, "subscript can overrun declared bounds")
 DL006 = _register("DL006", ERROR, "loop variable shadows an enclosing loop")
 DL007 = _register("DL007", WARNING, "loop has an empty constant range")
+DL008 = _register("DL008", ERROR, "source file could not be read")
 
 # -- DF: dataflow -------------------------------------------------------------
 
@@ -127,6 +132,21 @@ DS004 = _register(
 )
 DS005 = _register(
     "DS005", ERROR, "separated groups do not conserve the solution set"
+)
+
+# -- RS: resilience / conservative degradation ---------------------------------
+
+RS001 = _register(
+    "RS001", WARNING, "internal error in a dependence test; dependence assumed"
+)
+RS002 = _register(
+    "RS002", WARNING, "work budget exhausted; conservative answer used"
+)
+RS003 = _register(
+    "RS003", WARNING, "pipeline phase degraded to its conservative fallback"
+)
+RS004 = _register(
+    "RS004", WARNING, "parser recovered at a statement boundary"
 )
 
 

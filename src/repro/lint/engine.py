@@ -28,10 +28,10 @@ from ..analysis import normalize_program, substitute_induction_variables
 from ..analysis.check import check_program
 from ..analysis.normalize import NormalizationError
 from ..analysis.pointers import convert_pointers
+from ..core.resilience import Barrier
 from ..frontend import parse_c, parse_fortran
-from ..frontend.errors import ParseError
+from ..frontend.errors import ParseError, ParseErrorGroup
 from ..ir import Program
-from ..ir.span import Span
 from ..symbolic import Assumptions
 from . import codes
 from .audit import DEFAULT_EXHAUSTIVE_LIMIT
@@ -78,6 +78,7 @@ def lint_source(
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
     ranges: bool = True,
     schedule: bool = False,
+    strict: bool = False,
 ) -> LintReport:
     """Lint FORTRAN or C source text end to end.
 
@@ -85,23 +86,26 @@ def lint_source(
     skipped and the soundness audit runs on user assumptions only (the
     ablation measured by ``benchmarks/bench_ranges.py``).  ``schedule=True``
     additionally vectorizes the program and statically verifies the
-    resulting schedule (``VR`` codes).
+    resulting schedule (``VR`` codes).  ``strict=True`` re-raises internal
+    errors in the graph passes instead of degrading conservatively.
+
+    Parsing runs in recovery mode: every syntax error in the file becomes
+    its own span-carrying ``DL001``, with an ``RS004`` note that the parser
+    synchronized at statement boundaries to keep going.
     """
     report = LintReport(language)
     try:
         if language == "c":
-            program, info = parse_c(source)
+            program, info = parse_c(source, recover=True)
             if info.pointers:
                 program = convert_pointers(program, info)
         else:
-            program = parse_fortran(source)
+            program = parse_fortran(source, recover=True)
+    except ParseErrorGroup as group:
+        report.diagnostics = _parse_failure(group.errors)
+        return report
     except ParseError as error:
-        span = None
-        if error.line is not None:
-            span = Span(error.line, error.column or 1)
-        report.diagnostics = [
-            Diagnostic.make(codes.DL001, str(error), span=span)
-        ]
+        report.diagnostics = _parse_failure([error])
         return report
     try:
         normalized = normalize_program(program)
@@ -132,10 +136,26 @@ def lint_source(
     if (audit or schedule) and max_severity(diags) != codes.ERROR:
         diags += _graph_passes(
             normalized, assumptions, exhaustive_limit, report, ranges,
-            audit, schedule,
+            audit, schedule, strict,
         )
     report.diagnostics = sort_diagnostics(diags)
     return report
+
+
+def _parse_failure(errors: list[ParseError]) -> list[Diagnostic]:
+    """DL001 per recovered syntax error, plus an RS004 recovery note."""
+    diags = [
+        Diagnostic.make(codes.DL001, str(error), span=error.span)
+        for error in errors
+    ]
+    diags.append(
+        Diagnostic.make(
+            codes.RS004,
+            "parse: recovered at statement boundaries; "
+            f"{len(errors)} syntax error(s) reported",
+        )
+    )
+    return sort_diagnostics(diags)
 
 
 def _graph_passes(
@@ -146,28 +166,54 @@ def _graph_passes(
     derive_bounds: bool = True,
     audit: bool = True,
     schedule: bool = False,
+    strict: bool = False,
 ) -> list[Diagnostic]:
     """The dependence-graph-backed passes: soundness audit and, on request,
-    vectorization plus schedule verification (one graph serves both)."""
+    vectorization plus schedule verification (one graph serves both).
+
+    Each pass runs inside an exception barrier: an internal error degrades
+    to the conservative graph / serial plan and surfaces as ``RS``
+    diagnostics instead of aborting the lint (``strict=True`` re-raises).
+    """
     # Imported here: depgraph depends on lint.audit, so the package cannot
     # import it at module load time without a cycle.
-    from ..depgraph import analyze_dependences
+    from ..depgraph import analyze_dependences, conservative_graph
 
-    graph = analyze_dependences(
-        program,
-        assumptions=assumptions,
-        normalized=True,
-        audit=audit,
-        derive_bounds=derive_bounds,
+    barrier = Barrier(strict=strict)
+    graph = barrier.run(
+        "dependence-analysis",
+        lambda: analyze_dependences(
+            program,
+            assumptions=assumptions,
+            normalized=True,
+            audit=audit,
+            derive_bounds=derive_bounds,
+            strict=strict,
+        ),
+        lambda: conservative_graph(program),
     )
-    diags: list[Diagnostic] = []
+    diags: list[Diagnostic] = list(graph.degradations)
     if audit:
         report.audited_pairs = len(graph.edges)
         diags += list(graph.audit_diagnostics)
     if schedule:
-        from ..vectorizer import vectorize
+        from ..vectorizer import serial_plan, vectorize
 
         from .schedule import verify_schedule
 
-        diags += verify_schedule(vectorize(graph), graph)
+        plan = barrier.run(
+            "vectorize", lambda: vectorize(graph), lambda: serial_plan(program)
+        )
+        diags += barrier.run(
+            "verify-schedule",
+            lambda: verify_schedule(plan, graph),
+            lambda: [
+                Diagnostic.make(
+                    codes.RS003,
+                    "verify-schedule: verifier failed; schedule is unverified",
+                    severity="error",
+                )
+            ],
+        )
+    diags += barrier.degradations
     return diags

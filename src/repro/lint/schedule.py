@@ -52,6 +52,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from ..core.chaos import chaos_point
 from ..dirvec.vectors import D_EQ, D_GT, D_LT, DirVec
 from ..ir import ArrayRef, Assignment, Loop, Name, Program
 from . import codes
@@ -102,6 +103,7 @@ def verify_schedule(
     from the program — is provably respected by the schedule.  ``gaps=False``
     suppresses the advisory VR005 over-serialization warnings.
     """
+    chaos_point("schedule.verify")
     sites, diags = _collect_sites(result)
     text_order = {
         stmt.label: position

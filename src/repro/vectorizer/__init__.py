@@ -1,6 +1,6 @@
 """The VIC-style vectorizer: Allen–Kennedy codegen over dependence graphs."""
 
-from .allen_kennedy import VectorizationResult, VectorLoop, vectorize
+from .allen_kennedy import VectorizationResult, VectorLoop, serial_plan, vectorize
 from .emit_c import CEmissionError, emit_c_program
 from .execute import run_schedule
 from .emit_f90 import emit_program
@@ -27,6 +27,7 @@ __all__ = [
     "interchange",
     "interchange_legal",
     "parallel_levels",
+    "serial_plan",
     "strongly_connected_components",
     "vectorize",
     "verify_interchange",

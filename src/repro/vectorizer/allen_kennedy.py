@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.chaos import chaos_point
 from ..depgraph.builder import Dependence, DependenceGraph
 from ..dirvec.vectors import D_EQ, DirVec
 from ..ir import Assignment, Loop, Name, Program, RefContext
@@ -74,6 +75,7 @@ ScheduleNode = tuple
 
 def vectorize(graph: DependenceGraph) -> VectorizationResult:
     """Run Allen–Kennedy codegen over an analyzed program."""
+    chaos_point("vectorize.codegen")
     program = graph.program
     statements = list(program.walk_statements())
     edges = list(graph.edges) + _scalar_edges(program, statements)
@@ -93,6 +95,41 @@ def vectorize(graph: DependenceGraph) -> VectorizationResult:
             entry = VectorLoop(stmt, (), (), ())
             result.plan.append(entry)
             result.schedule.append(("stmt", entry))
+    result.plan.sort(key=lambda p: p.stmt.label or "")
+    return result
+
+
+def serial_plan(program: Program) -> VectorizationResult:
+    """A fully serial schedule: every loop kept serial, nothing vectorized.
+
+    The vectorize-phase conservative fallback: original loop order and
+    statement order are preserved exactly, so the plan is legal under *any*
+    dependence graph — including the one the failed analysis never finished
+    computing.
+    """
+    result = VectorizationResult(program)
+
+    def build(stmt, loops: tuple[Loop, ...]):
+        if isinstance(stmt, Loop):
+            level = len(loops) + 1
+            children = []
+            for child in stmt.body:
+                node = build(child, loops + (stmt,))
+                if node is not None:
+                    children.append(node)
+            return ("loop", stmt, level, children)
+        if isinstance(stmt, Assignment):
+            entry = VectorLoop(
+                stmt, loops, tuple(range(1, len(loops) + 1)), ()
+            )
+            result.plan.append(entry)
+            return ("stmt", entry)
+        return None
+
+    for stmt in program.body:
+        node = build(stmt, ())
+        if node is not None:
+            result.schedule.append(node)
     result.plan.sort(key=lambda p: p.stmt.label or "")
     return result
 

@@ -45,7 +45,12 @@ def drop_edge(graph: DependenceGraph, index: int) -> DependenceGraph:
             f"{len(graph.edges)} edges)"
         )
     kept = [e for position, e in enumerate(graph.edges) if position != index]
-    return DependenceGraph(graph.program, kept, list(graph.audit_diagnostics))
+    return DependenceGraph(
+        graph.program,
+        kept,
+        list(graph.audit_diagnostics),
+        list(graph.degradations),
+    )
 
 
 def weaken_edge(graph: DependenceGraph, index: int) -> DependenceGraph:
@@ -71,7 +76,10 @@ def weaken_edge(graph: DependenceGraph, index: int) -> DependenceGraph:
         edge.assumed,
     )
     return DependenceGraph(
-        graph.program, edges, list(graph.audit_diagnostics)
+        graph.program,
+        edges,
+        list(graph.audit_diagnostics),
+        list(graph.degradations),
     )
 
 

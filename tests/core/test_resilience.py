@@ -1,0 +1,156 @@
+"""Unit tests for the resilience layer: Budget, Barrier, edge coverage."""
+
+import pytest
+
+from repro.core.resilience import (
+    Barrier,
+    Budget,
+    BudgetExhausted,
+    edge_covers,
+    uncovered_edges,
+)
+from repro.depgraph import DependenceGraph, analyze_dependences, conservative_graph
+from repro.frontend import parse_fortran
+
+
+SOURCE = "REAL A(0:99)\nDO 1 i = 0, 94\n1 A(i+5) = A(i) + 1\n"
+
+
+class TestBudget:
+    def test_limit_one_refuses_first_spend(self):
+        budget = Budget(steps=1)
+        assert not budget.spend()
+        assert budget.exhausted
+
+    def test_spend_counts_down(self):
+        budget = Budget(steps=3)
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()
+        assert budget.exhausted
+
+    def test_exhaustion_is_sticky(self):
+        budget = Budget(steps=1)
+        budget.spend()
+        assert not budget.spend(0)
+        assert not budget.covers(0)
+
+    def test_unbounded_budget_never_exhausts(self):
+        budget = Budget()
+        assert budget.spend(10**9)
+        assert not budget.exhausted
+
+    def test_charge_raises_with_label(self):
+        budget = Budget(steps=1, label="omega")
+        with pytest.raises(BudgetExhausted, match="omega budget exhausted"):
+            budget.charge()
+        assert budget.exhausted
+
+    def test_covers_does_not_consume(self):
+        budget = Budget(steps=10)
+        assert budget.covers(10)
+        assert budget.remaining == 10
+        assert not budget.exhausted
+
+    def test_covers_refusal_marks_exhausted(self):
+        budget = Budget(steps=10)
+        assert not budget.covers(11)
+        assert budget.exhausted
+
+    def test_deadline_expires(self):
+        now = [0.0]
+        budget = Budget(seconds=5.0, clock=lambda: now[0])
+        assert budget.spend()
+        now[0] = 10.0
+        # The clock is only consulted every _CLOCK_STRIDE spends.
+        results = [budget.spend() for _ in range(Budget._CLOCK_STRIDE + 1)]
+        assert not results[-1]
+        assert budget.exhausted
+
+    def test_max_depth_refuses_deeper_spends(self):
+        budget = Budget(steps=100, max_depth=2)
+        budget.depth = 2
+        assert not budget.spend()
+        assert budget.exhausted
+
+
+class TestBarrier:
+    def test_success_passes_value_through(self):
+        barrier = Barrier()
+        assert barrier.run("phase", lambda: 42, lambda: 0) == 42
+        assert barrier.degradations == []
+        assert not barrier.failed("phase")
+
+    def test_failure_degrades_to_fallback(self):
+        barrier = Barrier()
+
+        def boom():
+            raise ValueError("inner detail")
+
+        assert barrier.run("vectorize", boom, lambda: "fallback") == "fallback"
+        assert barrier.failed("vectorize")
+        (diag,) = barrier.degradations
+        assert diag.code == "RS003"
+        assert "vectorize" in diag.message
+        assert "inner detail" in diag.message
+
+    def test_failure_without_fallback_returns_none(self):
+        barrier = Barrier()
+
+        def boom():
+            raise RuntimeError("x")
+
+        assert barrier.run("phase", boom) is None
+
+    def test_strict_reraises_internal_errors(self):
+        barrier = Barrier(strict=True)
+
+        def boom():
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            barrier.run("phase", boom, lambda: None)
+
+    def test_budget_exhaustion_degrades_even_in_strict(self):
+        # Giving up on an oversized system is a designed outcome, not a bug.
+        barrier = Barrier(strict=True)
+        budget = Budget(steps=1, label="pair")
+
+        def work():
+            budget.charge(5)
+
+        assert barrier.run("pair", work, lambda: "conservative") == "conservative"
+        (diag,) = barrier.degradations
+        assert diag.code == "RS002"
+
+    def test_explicit_code_overrides_default(self):
+        barrier = Barrier()
+
+        def boom():
+            raise RuntimeError("x")
+
+        barrier.run("pair", boom, code="RS001", statement="S1:A / S1:A")
+        (diag,) = barrier.degradations
+        assert diag.code == "RS001"
+        assert diag.statement == "S1:A / S1:A"
+
+
+class TestEdgeCoverage:
+    def test_conservative_graph_covers_analyzed_graph(self):
+        program = parse_fortran(SOURCE)
+        analyzed = analyze_dependences(program)
+        conservative = conservative_graph(analyzed.program)
+        assert uncovered_edges(conservative, analyzed) == []
+
+    def test_empty_graph_covers_nothing(self):
+        program = parse_fortran(SOURCE)
+        analyzed = analyze_dependences(program)
+        assert analyzed.edges
+        empty = DependenceGraph(analyzed.program)
+        assert uncovered_edges(empty, analyzed) == analyzed.edges
+
+    def test_edge_covers_is_reflexive(self):
+        program = parse_fortran(SOURCE)
+        analyzed = analyze_dependences(program)
+        for edge in analyzed.edges:
+            assert edge_covers(edge, edge)

@@ -1,0 +1,137 @@
+"""Parser error recovery: one parse reports every broken statement."""
+
+import pytest
+
+from repro.frontend import ParseError, ParseErrorGroup, parse_c, parse_fortran
+from repro.frontend.errors import ParseError as ErrorsParseError
+from repro.ir import Span
+
+
+class TestParseErrorSpans:
+    def test_error_carries_span(self):
+        with pytest.raises(ParseError) as info:
+            parse_fortran("A(1 = 2\n")
+        error = info.value
+        assert error.span == Span(1, 5)
+        assert error.line == 1 and error.column == 5
+
+    def test_span_only_constructor(self):
+        error = ParseError("boom", span=Span(3, 7))
+        assert error.line == 3 and error.column == 7
+        assert "line 3, column 7" in str(error)
+
+    def test_message_attribute_has_no_location(self):
+        error = ParseError("boom", 3, 7)
+        assert error.message == "boom"
+        assert str(error) == "boom at line 3, column 7"
+
+
+class TestFortranRecovery:
+    SOURCE = (
+        "REAL A(0:9)\n"
+        "A(1 = 2\n"
+        "A(2) = 3\n"
+        "A(3) = @\n"
+        "A(4) = 5\n"
+    )
+
+    def test_collects_every_error_in_source_order(self):
+        with pytest.raises(ParseErrorGroup) as info:
+            parse_fortran(self.SOURCE, recover=True)
+        group = info.value
+        lines = [e.line for e in group.errors]
+        assert lines == sorted(lines)
+        assert {2, 4} <= set(lines)
+
+    def test_group_is_a_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_fortran(self.SOURCE, recover=True)
+
+    def test_partial_program_keeps_good_statements(self):
+        with pytest.raises(ParseErrorGroup) as info:
+            parse_fortran(self.SOURCE, recover=True)
+        labels = [stmt.label for stmt in info.value.program.body]
+        # Lines 3 and 5 parsed fine and were kept.
+        assert len(labels) == 2
+
+    def test_clean_source_is_unaffected(self):
+        from repro.ir import format_program
+
+        clean = "REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i) = A(i) + 1\n"
+        recovered = parse_fortran(clean, recover=True)
+        plain = parse_fortran(clean)
+        assert format_program(recovered) == format_program(plain)
+
+    def test_without_recover_raises_first_error_only(self):
+        with pytest.raises(ParseError) as info:
+            parse_fortran(self.SOURCE)
+        assert not isinstance(info.value, ParseErrorGroup)
+
+    def test_unclosed_do_is_reported(self):
+        source = "DO 1 i = 0, 9\nA(i = 1\n"
+        with pytest.raises(ParseErrorGroup) as info:
+            parse_fortran(source, recover=True)
+        messages = [e.message for e in info.value.errors]
+        assert any("never closed" in m for m in messages)
+
+    def test_lexer_errors_are_recovered_too(self):
+        with pytest.raises(ParseErrorGroup) as info:
+            parse_fortran("A(1) = #\nA(2) = $\n", recover=True)
+        characters = [e for e in info.value.errors if "unexpected character" in e.message]
+        assert len(characters) == 2
+
+    def test_pathological_garbage_terminates(self):
+        # Forced progress: inputs the grammar can't anchor anywhere must
+        # still terminate with errors, not loop.
+        with pytest.raises(ParseErrorGroup):
+            parse_fortran("((((((\n))))))\n= = = =\n", recover=True)
+
+
+class TestCRecovery:
+    SOURCE = (
+        "float d[100];\n"
+        "d[0] = ;\n"
+        "d[1] = 2;\n"
+        "for (i = 0; i < 5; i--) d[i] = 1;\n"
+        "d[2] = 3;\n"
+    )
+
+    def test_collects_every_error(self):
+        with pytest.raises(ParseErrorGroup) as info:
+            parse_c(self.SOURCE, recover=True)
+        group = info.value
+        assert len(group.errors) >= 2
+        assert {2, 4} <= {e.line for e in group.errors}
+
+    def test_partial_program_and_info_survive(self):
+        with pytest.raises(ParseErrorGroup) as info:
+            parse_c(self.SOURCE, recover=True)
+        group = info.value
+        assert group.program is not None
+        assert group.info is not None
+        assert "d" in group.program.decls
+
+    def test_clean_source_is_unaffected(self):
+        from repro.ir import format_program
+
+        clean = "float d[100];\nfor (i = 0; i < 5; i++) d[i] = d[i] + 1;\n"
+        program, info = parse_c(clean, recover=True)
+        plain, _ = parse_c(clean)
+        assert format_program(program) == format_program(plain)
+
+    def test_pathological_garbage_terminates(self):
+        with pytest.raises(ParseErrorGroup):
+            parse_c("= = = ;;; }}} (((", recover=True)
+
+
+class TestGroupConstruction:
+    def test_group_requires_errors(self):
+        with pytest.raises(ValueError):
+            ParseErrorGroup([])
+
+    def test_group_message_counts_the_rest(self):
+        errors = [ErrorsParseError("first", 1, 2), ErrorsParseError("second", 3, 4)]
+        group = ParseErrorGroup(errors)
+        assert "first" in str(group)
+        assert "+1 more" in str(group)
+        assert group.span == Span(1, 2)

@@ -32,11 +32,26 @@ class TestLintSource:
     def test_parse_error_becomes_dl001_with_span(self):
         report = lint_source("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i) = @\n")
         assert report.program is None
-        assert len(report.diagnostics) == 1
-        diag = report.diagnostics[0]
-        assert diag.code == "DL001"
-        assert diag.span is not None and diag.span.line == 3
+        dl001 = [d for d in report.diagnostics if d.code == "DL001"]
+        assert dl001
+        assert all(d.span is not None for d in dl001)
+        assert any(d.span.line == 3 for d in dl001)
+        # Recovery mode annotates that the parser kept going.
+        assert any(d.code == "RS004" for d in report.diagnostics)
         assert report.fails()
+
+    def test_recovery_reports_every_broken_statement(self):
+        # Two independent syntax errors on lines 2 and 4: one lint call
+        # reports both (the parser synchronizes at statement boundaries).
+        report = lint_source(
+            "REAL A(0:9)\nA(1 = 2\nA(2) = 3\nA(3) = @\nA(4) = 5\n"
+        )
+        lines = sorted(
+            d.span.line
+            for d in report.diagnostics
+            if d.code == "DL001" and d.span is not None
+        )
+        assert 2 in lines and 4 in lines
 
     def test_semantic_warning(self):
         report = lint_source("REAL A(0:9)\nDO 1 i = 0, 9\n1 A(i+5) = 1\n")
