@@ -1,0 +1,319 @@
+"""Scaling benches for the dependence engine (PR: parallel, memoized engine).
+
+Measures the two performance levels added by the canonical-problem cache and
+the multiprocess pair evaluator, on a solve-bound workload of 3-D linearized
+subscript pairs (the paper's target population — each pair costs ~10ms of
+solver time, so caching and parallelism are visible over the fixed per-pair
+bookkeeping):
+
+* ``serial_nocache`` — ``analyze_dependences(use_cache=False)``, the PR-4
+  baseline path;
+* ``serial_cold``    — a fresh :class:`ProblemCache`; the delta against
+  ``serial_nocache`` prices canonicalization (the "<3% cold overhead"
+  target — usually *negative*, because duplicated canonical shapes inside
+  one program already hit intra-run);
+* ``serial_warm``    — the same cache again, every pair a hit (the ">=5x
+  warm" target);
+* ``parallel_cold``  — ``jobs=min(4, cpus)`` with a fresh cache (the ">=3x
+  on 4 cores" target; reported but not gated on smaller machines);
+* ``solver_*``       — the cache layer alone: :func:`cached_delinearize`
+  cold vs warm over renamed/scaled twins, no graph machinery at all.
+
+The interval range analysis (``derive_bounds``) is disabled throughout: it
+runs once per program in the parent, is untouched by this PR, and would
+otherwise drown the pair loop it feeds (see docs/PERFORMANCE.md).
+
+Usage::
+
+    python benchmarks/bench_scale.py                      # full workload
+    python benchmarks/bench_scale.py --quick              # CI-sized
+    python benchmarks/bench_scale.py --quick \
+        --check benchmarks/baseline_scale.json            # 25% regression gate
+    python benchmarks/bench_scale.py --output results.json
+
+The committed ``baseline_scale.json`` was recorded with ``--quick`` on the
+reference container (1 CPU — the parallel leg is reported there for honesty
+but only gated when the measuring machine has >= 4 CPUs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import normalize_program  # noqa: E402
+from repro.core import delinearize  # noqa: E402
+from repro.core.cache import ProblemCache, cached_delinearize  # noqa: E402
+from repro.depgraph import analyze_dependences, reference_pairs  # noqa: E402
+from repro.deptests import BoundedVar, DependenceProblem  # noqa: E402
+from repro.frontend import parse_fortran  # noqa: E402
+from repro.symbolic import LinExpr  # noqa: E402
+
+#: Regression tolerance for --check: a ratio may be up to 25% worse than
+#: the recorded baseline before the gate fails.
+TOLERANCE = 0.25
+
+
+def corpus_source(statements: int) -> str:
+    """``statements`` writes/reads of one linearized 3-D array in one nest.
+
+    Every pair of references yields a 3-level dependence equation
+    ``(i1-i2) + 8*(j1-j2) + 64*(k1-k2) + c = 0`` — exactly the delinearizable
+    population, and expensive enough (~10ms/pair) that the solver dominates
+    the per-pair bookkeeping.
+    """
+    lines = [
+        "REAL B(0:2000)",
+        "DO 1 i = 0, 7",
+        "DO 1 j = 0, 7",
+        "DO 1 k = 0, 7",
+    ]
+    for s in range(statements):
+        c, d = 11 * s, 11 * s + 5
+        prefix = "1 " if s == statements - 1 else ""
+        lines.append(
+            f"{prefix}B(i + 8*j + 64*k + {c}) = B(i + 8*j + 64*k + {d}) + 1"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def solver_problems(shapes: int, copies: int) -> list[DependenceProblem]:
+    """``shapes`` distinct 3-D problems, each repeated as ``copies`` renamed
+    and integer-scaled twins (what the canonical cache collapses)."""
+    problems = []
+    for shape in range(shapes):
+        const = 7 * shape + 3
+        for copy in range(copies):
+            scale = 1 + (copy % 3)
+            v = [f"u{copy}", f"v{copy}", f"w{copy}"]
+            eq = LinExpr(
+                {
+                    f"{v[0]}1": scale,
+                    f"{v[0]}2": -scale,
+                    f"{v[1]}1": 8 * scale,
+                    f"{v[1]}2": -8 * scale,
+                    f"{v[2]}1": 64 * scale,
+                    f"{v[2]}2": -64 * scale,
+                },
+                const * scale,
+            )
+            variables = [
+                BoundedVar.make(f"{name}{side + 1}", 7, level, side)
+                for level, name in enumerate(v, start=1)
+                for side in (0, 1)
+            ]
+            problems.append(
+                DependenceProblem([eq], variables, common_levels=3)
+            )
+    return problems
+
+
+def best_of(repeats: int, run) -> float:
+    return min(timed(run) for _ in range(repeats))
+
+
+def timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def bench(quick: bool, jobs: int, repeats: int, cache_dir: str | None) -> dict:
+    statements = 6 if quick else 20
+    program = normalize_program(parse_fortran(corpus_source(statements)))
+    pairs = len(reference_pairs(program))
+    kwargs = dict(normalized=True, derive_bounds=False)
+
+    timings: dict[str, float] = {}
+    timings["serial_nocache"] = best_of(
+        repeats,
+        lambda: analyze_dependences(program, use_cache=False, **kwargs),
+    )
+    timings["serial_cold"] = best_of(
+        repeats,
+        lambda: analyze_dependences(program, cache=ProblemCache(), **kwargs),
+    )
+    warm = ProblemCache()
+    analyze_dependences(program, cache=warm, **kwargs)
+    timings["serial_warm"] = best_of(
+        repeats, lambda: analyze_dependences(program, cache=warm, **kwargs)
+    )
+    timings["parallel_cold"] = best_of(
+        repeats,
+        lambda: analyze_dependences(
+            program, cache=ProblemCache(), jobs=jobs, **kwargs
+        ),
+    )
+    if cache_dir:
+        # Persistent warm-up: a fresh in-memory cache loaded from disk.
+        analyze_dependences(
+            program, cache=ProblemCache(), cache_dir=cache_dir, **kwargs
+        )
+        timings["persistent_warm"] = best_of(
+            repeats,
+            lambda: analyze_dependences(
+                program, cache=ProblemCache(), cache_dir=cache_dir, **kwargs
+            ),
+        )
+
+    problems = solver_problems(4 if quick else 12, 8)
+    timings["solver_nocache"] = best_of(
+        repeats, lambda: [delinearize(p) for p in problems]
+    )
+
+    def solver_cold():
+        cache = ProblemCache()
+        for p in problems:
+            cached_delinearize(p, cache=cache)
+
+    timings["solver_cold"] = best_of(repeats, solver_cold)
+    solver_cache = ProblemCache()
+    for p in problems:
+        cached_delinearize(p, cache=solver_cache)
+    timings["solver_warm"] = best_of(
+        repeats,
+        lambda: [cached_delinearize(p, cache=solver_cache) for p in problems],
+    )
+
+    ratios = {
+        "cold_overhead": timings["serial_cold"] / timings["serial_nocache"] - 1,
+        "warm_speedup": timings["serial_nocache"] / timings["serial_warm"],
+        "parallel_speedup": timings["serial_nocache"] / timings["parallel_cold"],
+        "solver_warm_speedup": timings["solver_nocache"] / timings["solver_warm"],
+    }
+    return {
+        "workload": {
+            "quick": quick,
+            "statements": statements,
+            "pairs": pairs,
+            "solver_problems": len(problems),
+            "jobs": jobs,
+            "repeats": repeats,
+        },
+        "cpu_count": os.cpu_count(),
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "timings": {k: round(v, 6) for k, v in timings.items()},
+        "ratios": {k: round(v, 4) for k, v in ratios.items()},
+    }
+
+
+def report_targets(result: dict) -> None:
+    """Print the ISSUE targets with honest PASS/FAIL/SKIP verdicts."""
+    ratios = result["ratios"]
+    cpus = result["cpu_count"] or 1
+
+    def line(label, verdict):
+        print(f"  {label:<58} {verdict}")
+
+    print("targets:")
+    overhead = ratios["cold_overhead"]
+    line(
+        f"jobs=1 cold overhead < 3%            (measured {overhead:+.1%})",
+        "PASS" if overhead < 0.03 else "FAIL",
+    )
+    warm = ratios["warm_speedup"]
+    line(
+        f"warm cache >= 5x                     (measured {warm:.1f}x)",
+        "PASS" if warm >= 5 else "FAIL",
+    )
+    solver = ratios["solver_warm_speedup"]
+    line(
+        f"solver-level warm >= 5x              (measured {solver:.1f}x)",
+        "PASS" if solver >= 5 else "FAIL",
+    )
+    par = ratios["parallel_speedup"]
+    if cpus >= 4:
+        line(
+            f"jobs=4 >= 3x                         (measured {par:.1f}x)",
+            "PASS" if par >= 3 else "FAIL",
+        )
+    else:
+        line(
+            f"jobs=4 >= 3x                         (measured {par:.1f}x)",
+            f"SKIP ({cpus} cpu)",
+        )
+
+
+def check_against(result: dict, baseline_path: str) -> int:
+    """The CI regression gate: ratios may not be >25% worse than baseline."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    base_ratios = baseline["ratios"]
+    ratios = result["ratios"]
+    cpus = result["cpu_count"] or 1
+    failures = []
+
+    # Higher is better; regression = dropping below 75% of baseline.
+    for key in ("warm_speedup", "solver_warm_speedup"):
+        floor = base_ratios[key] * (1 - TOLERANCE)
+        if ratios[key] < floor:
+            failures.append(
+                f"{key}: {ratios[key]:.2f}x < {floor:.2f}x "
+                f"(baseline {base_ratios[key]:.2f}x - {TOLERANCE:.0%})"
+            )
+    # Lower is better; regression = 25 points of extra overhead.
+    ceiling = base_ratios["cold_overhead"] + TOLERANCE
+    if ratios["cold_overhead"] > ceiling:
+        failures.append(
+            f"cold_overhead: {ratios['cold_overhead']:+.1%} > {ceiling:+.1%}"
+        )
+    # The parallel ratio depends on core count; only gate it on machines at
+    # least as parallel as the baseline recorder's.
+    if cpus >= 4 and (baseline.get("cpu_count") or 1) >= 4:
+        floor = base_ratios["parallel_speedup"] * (1 - TOLERANCE)
+        if ratios["parallel_speedup"] < floor:
+            failures.append(
+                f"parallel_speedup: {ratios['parallel_speedup']:.2f}x "
+                f"< {floor:.2f}x"
+            )
+
+    if failures:
+        print("REGRESSION vs", baseline_path)
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"ok: within {TOLERANCE:.0%} of {baseline_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized workload (~60 pairs)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker count for the parallel leg (default: min(4, cpus))",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="best-of repeats per leg"
+    )
+    parser.add_argument(
+        "--cache-dir", help="also bench persistent warm-up through this dir"
+    )
+    parser.add_argument("--output", help="write the result JSON here")
+    parser.add_argument(
+        "--check", metavar="BASELINE", help="gate ratios against a baseline"
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    result = bench(args.quick, args.jobs, repeats, args.cache_dir)
+    print(json.dumps(result, indent=2))
+    report_targets(result)
+    if args.output:
+        Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    if args.check:
+        return check_against(result, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,8 +49,19 @@ from .analysis import (
     rectangular_bounds,
     substitute_induction_variables,
 )
-from .core import DelinearizationResult, delinearize
-from .depgraph import Dependence, DependenceGraph, analyze_dependences
+from .core import (
+    DelinearizationResult,
+    ProblemCache,
+    cached_delinearize,
+    clear_all,
+    delinearize,
+)
+from .depgraph import (
+    Dependence,
+    DependenceGraph,
+    GraphPerf,
+    analyze_dependences,
+)
 from .deptests import BoundedVar, DependenceProblem, Verdict
 from .dirvec import DirVec, DistanceVec
 from .frontend import ParseError, parse_c, parse_fortran
@@ -69,15 +80,19 @@ __all__ = [
     "DependenceProblem",
     "DirVec",
     "DistanceVec",
+    "GraphPerf",
     "LinExpr",
     "ParseError",
     "Poly",
+    "ProblemCache",
     "Program",
     "VectorizationResult",
     "Verdict",
     "__version__",
     "analyze_dependences",
     "build_pair_problem",
+    "cached_delinearize",
+    "clear_all",
     "convert_pointers",
     "delinearize",
     "emit_program",

@@ -67,12 +67,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="print the dependence table")
     _add_source_args(analyze)
+    analyze.add_argument(
+        "--perf",
+        action="store_true",
+        help="also print phase timings and cache/parallelism counters",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     vectorize = sub.add_parser("vectorize", help="print the vectorized program")
     _add_source_args(vectorize)
     vectorize.add_argument(
         "--report", action="store_true", help="also print the phase summary"
+    )
+    vectorize.add_argument(
+        "--perf",
+        action="store_true",
+        help="also print phase timings and cache/parallelism counters",
     )
     vectorize.add_argument(
         "--emit",
@@ -213,6 +223,28 @@ def _add_source_args(
         "conservative fallbacks (recommended in CI)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate dependence pairs (and lint multiple files) on N "
+        "worker processes; output is identical for any N (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist the canonical-problem cache under DIR so repeated "
+        "runs are warm (invalidated automatically when analysis code "
+        "changes)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the canonical-problem cache (solve every pair fresh)",
+    )
+    parser.add_argument(
         "--chaos-seed",
         type=int,
         default=None,
@@ -240,6 +272,16 @@ def _language_of(args) -> str:
     return _language_for(args.file, args.lang)
 
 
+def _perf_options(args) -> dict:
+    """The dependence-analysis performance knobs shared by every command."""
+    cache_dir = getattr(args, "cache_dir", None)
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "use_cache": not getattr(args, "no_cache", False),
+        "cache_dir": None if cache_dir is None else str(cache_dir),
+    }
+
+
 def _compile(args, verify: bool = True):
     source = args.file.read_text()
     assumptions = _parse_assumptions(args.assume)
@@ -252,6 +294,7 @@ def _compile(args, verify: bool = True):
             derive_bounds=derive,
             verify=verify,
             strict=strict,
+            **_perf_options(args),
         )
     return compile_fortran(
         source,
@@ -259,12 +302,15 @@ def _compile(args, verify: bool = True):
         derive_bounds=derive,
         verify=verify,
         strict=strict,
+        **_perf_options(args),
     )
 
 
 def _cmd_analyze(args) -> int:
     report = _compile(args)
     print(report.graph.format_table())
+    if args.perf:
+        print(report.perf.format(), file=sys.stderr)
     return 0
 
 
@@ -292,6 +338,8 @@ def _cmd_vectorize(args) -> int:
             print(diag)
         for diag in report.degradations:
             print(diag)
+        if args.perf:
+            print(report.perf.format(), file=sys.stderr)
         return 0 if report.schedule_ok else 2
 
     # Mutation / transformation flows drive the pipeline by hand: they need
@@ -370,37 +418,91 @@ def _cmd_check(args) -> int:
     return 0 if not any(d.severity == "error" for d in diagnostics) else 2
 
 
-def _cmd_lint(args) -> int:
-    from .lint import codes, render_json, render_json_many, render_text
+def _lint_one_file(
+    path_str: str,
+    language: str,
+    assumptions: Assumptions,
+    options: dict,
+    jobs: int = 1,
+    keep_program: bool = True,
+):
+    """Lint a single path; the unit of work for the multi-file fan-out.
+
+    An unreadable file becomes a DL008 report so the remaining files are
+    still linted (one bad path must not abort the whole run).  Pool workers
+    call this with ``keep_program=False``: the parent only renders
+    diagnostics, so the IR never needs to cross the process boundary.
+    """
+    from .lint import codes
     from .lint.diagnostics import Diagnostic
     from .lint.engine import LintReport, lint_source
+
+    try:
+        source = Path(path_str).read_text()
+    except OSError as error:
+        report = LintReport(language)
+        report.diagnostics = [Diagnostic.make(codes.DL008, str(error))]
+        return path_str, report
+    report = lint_source(
+        source,
+        language=language,
+        assumptions=assumptions,
+        jobs=jobs,
+        **options,
+    )
+    if not keep_program:
+        report.program = None
+    return path_str, report
+
+
+def _cmd_lint(args) -> int:
+    from .core.chaos import active_state
+    from .lint import render_json, render_json_many, render_text
 
     assumptions = _parse_assumptions(args.assume)
     # Sorted by path so multi-file output (and JSON) is deterministic
     # regardless of the order arguments were given in.
     paths = sorted(args.files, key=str)
-    reports = []
-    for path in paths:
-        language = _language_for(path, args.lang)
-        # An unreadable file becomes a DL008 report so the remaining files
-        # are still linted (one bad path must not abort the whole run).
-        try:
-            source = path.read_text()
-        except OSError as error:
-            report = LintReport(language)
-            report.diagnostics = [Diagnostic.make(codes.DL008, str(error))]
-            reports.append((path, report))
-            continue
-        report = lint_source(
-            source,
-            language=language,
-            assumptions=assumptions,
-            audit=not args.no_audit,
-            ranges=not args.no_derived_bounds,
-            schedule=args.schedule,
-            strict=args.strict,
-        )
-        reports.append((path, report))
+    perf = _perf_options(args)
+    options = {
+        "audit": not args.no_audit,
+        "ranges": not args.no_derived_bounds,
+        "schedule": args.schedule,
+        "strict": args.strict,
+        "use_cache": perf["use_cache"],
+        "cache_dir": perf["cache_dir"],
+    }
+    jobs = perf["jobs"]
+    work = [
+        (str(path), _language_for(path, args.lang)) for path in paths
+    ]
+    # Fan out whole files when several were given; fan out dependence pairs
+    # inside the file otherwise.  Chaos keeps the serial path: workers would
+    # draw from per-file fault streams and diverge from a jobs=1 run.
+    if jobs > 1 and len(work) > 1 and active_state() is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(work))
+        ) as pool:
+            results = list(
+                pool.map(
+                    _lint_one_file,
+                    [path for path, _ in work],
+                    [language for _, language in work],
+                    [assumptions] * len(work),
+                    [options] * len(work),
+                    [1] * len(work),
+                    [False] * len(work),
+                )
+            )
+    else:
+        file_jobs = jobs if len(work) == 1 else 1
+        results = [
+            _lint_one_file(path, language, assumptions, options, file_jobs)
+            for path, language in work
+        ]
+    reports = [(Path(path_str), report) for path_str, report in results]
 
     if args.format == "json":
         if len(reports) == 1:
@@ -420,9 +522,7 @@ def _cmd_lint(args) -> int:
             f"{sum(r.error_count for _, r in reports)} error(s), "
             f"{sum(r.warning_count for _, r in reports)} warning(s)"
         )
-        if not args.no_audit and any(
-            r.program is not None for _, r in reports
-        ):
+        if not args.no_audit and any(r.parsed for _, r in reports):
             audited = sum(r.audited_pairs for _, r in reports)
             summary += f", {audited} dependence edge(s) audited"
         print(summary)

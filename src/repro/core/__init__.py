@@ -1,5 +1,14 @@
 """The paper's contribution: the delinearization algorithm and theorem."""
 
+from .cache import (
+    CacheStats,
+    ProblemCache,
+    cached_delinearize,
+    clear_all,
+    default_cache,
+    schema_hash,
+)
+from .canon import CachedOutcome, CanonicalForm, canonicalize
 from .delinearize import (
     DelinearizationResult,
     TraceRow,
@@ -15,8 +24,17 @@ from .theorem import (
 )
 
 __all__ = [
+    "CacheStats",
+    "CachedOutcome",
+    "CanonicalForm",
     "DelinearizationResult",
     "GroupSolution",
+    "ProblemCache",
+    "cached_delinearize",
+    "canonicalize",
+    "clear_all",
+    "default_cache",
+    "schema_hash",
     "SplitCandidate",
     "TraceRow",
     "condition_holds",

@@ -1,0 +1,240 @@
+"""Canonicalization of dependence problems for the problem cache.
+
+Structurally identical dependence problems arise over and over: every pair
+of references with the same subscript shape, bounds and assumptions produces
+the same constrained system up to iteration-variable names and loop-level
+numbering, and a whole corpus re-solves the same handful of shapes on every
+run.  This module maps a :class:`~repro.deptests.problem.DependenceProblem`
+to a *canonical form* — a hashable key plus the level permutation needed to
+translate results — so the cache (:mod:`repro.core.cache`) can recognise a
+problem it has already solved regardless of where it came from.
+
+The normal form applies exactly the transformations that provably preserve
+the analysis outcome byte-for-byte:
+
+* **integer GCD reduction** per equation: every coefficient and the
+  constant are divided by the gcd of their integer contents.  The scan, the
+  group solvers and the Banerjee/GCD refinements are all invariant under
+  positive integer scaling of an equation (remainders, suffix gcds and
+  Banerjee extremes scale uniformly, and the assumption prover's
+  shift-and-expand check succeeds on ``g*p`` exactly when it succeeds on
+  ``p``), so two problems differing only by such a factor share one entry;
+* **variable renaming**: common-level pair variables become ``a<j>`` /
+  ``b<j>`` (side 0 / side 1 of canonical level ``j``) and every other
+  variable becomes ``x<k>`` in order of first appearance.  Coefficient
+  *insertion order* inside each equation is part of the key: the Figure-4
+  magnitude sort is stable, so insertion order is the tie-break that makes
+  two equal-keyed problems evaluate identically;
+* **level permutation** per the Figure-4 sort: common levels are reordered
+  by a signature built from their pair variables' coefficient sequence and
+  bounds, so two pairs whose loops appear in different nesting orders but
+  constrain identical systems share an entry.  The permutation is recorded
+  and cached direction vectors / distances are mapped back through its
+  inverse;
+* **assumption fingerprinting**: the key embeds the interval of every
+  symbol the problem mentions, so a cached verdict can never leak across
+  different assumption contexts.
+
+Deliberately *not* normalized (each would change solver tie-breaking and
+break the cold-vs-warm byte-identity guarantee, see docs/PERFORMANCE.md):
+equation sign flips (remainder-candidate selection in the scan is not
+sign-symmetric) and equation reordering (early-independence returns make
+``dimensions_found`` order-sensitive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..deptests.problem import DependenceProblem, Verdict
+from ..dirvec.vectors import DirVec
+from ..symbolic import Poly
+
+#: Bumped whenever canonicalization (and therefore key compatibility)
+#: changes; part of every key so stale persistent entries can never match.
+CANON_VERSION = 1
+
+#: Key type alias (purely informational — keys are nested plain tuples so
+#: they hash, compare and pickle without custom machinery).
+CanonKey = tuple
+
+
+def _poly_key(p: Poly) -> tuple:
+    """A hashable, deterministic rendering of a polynomial."""
+    return tuple(sorted(p.terms.items()))
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The cache key of a problem plus the level mapping to translate results.
+
+    ``perm`` lists original level numbers in canonical order: canonical
+    position ``j`` (1-based) corresponds to original level ``perm[j - 1]``.
+    """
+
+    key: CanonKey
+    perm: tuple[int, ...]
+    common_levels: int
+
+    def to_canonical_vector(self, vec: DirVec) -> DirVec:
+        """Reorder an original-level direction vector into canonical order."""
+        return DirVec(tuple(vec[level - 1] for level in self.perm))
+
+    def from_canonical_vector(self, vec: DirVec) -> DirVec:
+        """Reorder a canonical-order direction vector back to original levels."""
+        position = self._positions()
+        return DirVec(
+            tuple(vec[position[level] - 1] for level in range(1, self.common_levels + 1))
+        )
+
+    def _positions(self) -> dict[int, int]:
+        """original level -> canonical position (1-based)."""
+        return {level: j for j, level in enumerate(self.perm, start=1)}
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """The cacheable portion of a :class:`DelinearizationResult`.
+
+    Direction vectors and distances are stored in *canonical* level order;
+    :func:`outcome_to_result` maps them back through a problem's own
+    permutation.  Groups and the Figure-5 trace are deliberately not cached:
+    they reference problem-specific variable names, and the only consumers
+    (the soundness auditor, the ``delinearize`` CLI trace) bypass the cache.
+    """
+
+    verdict: str
+    dirvecs: frozenset[DirVec]
+    distances: tuple[tuple[int, Poly], ...]
+    dimensions: int
+
+
+def canonicalize(problem: DependenceProblem) -> CanonicalForm:
+    """Compute the canonical form (cache key + level permutation)."""
+    n = problem.common_levels
+    reduced = [_reduce_equation(eq) for eq in problem.equations]
+
+    # -- level permutation: the Figure-4 signature sort --------------------
+    pair_names: dict[int, list[str | None]] = {
+        level: [None, None] for level in range(1, n + 1)
+    }
+    for var in problem.variables.values():
+        if var.level is not None and 1 <= var.level <= n and var.side in (0, 1):
+            pair_names[var.level][var.side] = var.name
+
+    def signature(level: int) -> tuple:
+        sides = []
+        for name in pair_names[level]:
+            if name is None:
+                sides.append((None, None))
+                continue
+            upper = _poly_key(problem.variables[name].upper)
+            coeffs = tuple(
+                _poly_key(coeffs.get(name, Poly())) for coeffs, _ in reduced
+            )
+            sides.append((upper, coeffs))
+        return tuple(sides)
+
+    perm = tuple(sorted(range(1, n + 1), key=lambda lvl: (signature(lvl), lvl)))
+    canon_level = {level: j for j, level in enumerate(perm, start=1)}
+
+    # -- variable renaming -------------------------------------------------
+    rename: dict[str, str] = {}
+    for level, (side0, side1) in pair_names.items():
+        if side0 is not None:
+            rename[side0] = f"a{canon_level[level]}"
+        if side1 is not None:
+            rename[side1] = f"b{canon_level[level]}"
+    aux = 0
+    for coeffs, _ in reduced:
+        for name in coeffs:
+            if name not in rename:
+                rename[name] = f"x{aux}"
+                aux += 1
+    for name in problem.variables:
+        if name not in rename:
+            rename[name] = f"x{aux}"
+            aux += 1
+
+    # -- key assembly ------------------------------------------------------
+    key_equations = tuple(
+        (
+            tuple(
+                (rename[name], _poly_key(coeff)) for name, coeff in coeffs.items()
+            ),
+            _poly_key(const),
+        )
+        for coeffs, const in reduced
+    )
+    key_bounds = tuple(
+        sorted(
+            (
+                rename[var.name],
+                canon_level.get(var.level) if var.side in (0, 1) else None,
+                var.side,
+                _poly_key(var.upper),
+            )
+            for var in problem.variables.values()
+        )
+    )
+    symbols: set[str] = set()
+    for coeffs, const in reduced:
+        symbols |= const.symbols()
+        for coeff in coeffs.values():
+            symbols |= coeff.symbols()
+    for var in problem.variables.values():
+        symbols |= var.upper.symbols()
+    fingerprint = tuple(
+        (sym, *problem.assumptions.interval(sym)) for sym in sorted(symbols)
+    )
+    key = (CANON_VERSION, n, key_equations, key_bounds, fingerprint)
+    return CanonicalForm(key=key, perm=perm, common_levels=n)
+
+
+def _reduce_equation(eq) -> tuple[dict[str, Poly], Poly]:
+    """GCD-reduce one equation by the integer content of all its parts."""
+    contents = [eq.const.content(), *(c.content() for c in eq.coeffs.values())]
+    g = math.gcd(*contents) if contents else 0
+    if g <= 1:
+        return dict(eq.coeffs), eq.const
+    return (
+        {name: coeff.exact_div(g) for name, coeff in eq.coeffs.items()},
+        eq.const.exact_div(g),
+    )
+
+
+def result_to_outcome(result, form: CanonicalForm) -> CachedOutcome:
+    """Project a :class:`DelinearizationResult` into canonical level order."""
+    if result.verdict is Verdict.INDEPENDENT:
+        # Early-independence returns may leave partial direction/distance
+        # state behind; normalize it away so equal keys store equal entries.
+        return CachedOutcome(result.verdict.value, frozenset(), (), result.dimensions_found)
+    positions = form._positions()
+    dirvecs = frozenset(
+        form.to_canonical_vector(vec) for vec in result.direction_vectors
+    )
+    distances = tuple(
+        sorted((positions[level], poly) for level, poly in result.distances.items())
+    )
+    return CachedOutcome(result.verdict.value, dirvecs, distances, result.dimensions_found)
+
+
+def outcome_to_result(outcome: CachedOutcome, form: CanonicalForm):
+    """Rebuild a :class:`DelinearizationResult` for a specific problem."""
+    from .delinearize import DelinearizationResult
+
+    verdict = Verdict(outcome.verdict)
+    result = DelinearizationResult(
+        verdict=verdict, dimensions_found=outcome.dimensions
+    )
+    if verdict is Verdict.INDEPENDENT:
+        return result
+    result.direction_vectors = {
+        form.from_canonical_vector(vec) for vec in outcome.dirvecs
+    }
+    inverse = {j: level for level, j in form._positions().items()}
+    result.distances = {
+        inverse[position]: poly for position, poly in outcome.distances
+    }
+    return result

@@ -66,11 +66,20 @@ class ChaosError(RuntimeError):
 
 @dataclass
 class ChaosState:
-    """One activation of the harness: seed, rate, site filter, telemetry."""
+    """One activation of the harness: seed, rate, site filter, telemetry.
+
+    ``scope`` makes site decisions process-safe: pool workers install a copy
+    of the parent's state with ``scope`` set to their deterministic batch id,
+    so each worker draws from its own fault stream instead of all workers
+    replaying hit 0, 1, 2, ... of the parent's.  An empty scope (the default,
+    and the single-process case) leaves the decision digest exactly as
+    before, so existing seeded fault patterns are unchanged.
+    """
 
     seed: int
     rate: float = DEFAULT_RATE
     sites: frozenset[str] | None = None  # None = every registered site
+    scope: str = ""
     hits: dict[str, int] = field(default_factory=dict)
     fired: list[tuple[str, int]] = field(default_factory=list)
 
@@ -80,11 +89,19 @@ class ChaosState:
             return False
         hit = self.hits.get(site, 0)
         self.hits[site] = hit + 1
-        digest = zlib.crc32(f"{self.seed}:{site}:{hit}".encode())
+        if self.scope:
+            token = f"{self.seed}:{self.scope}:{site}:{hit}"
+        else:
+            token = f"{self.seed}:{site}:{hit}"
+        digest = zlib.crc32(token.encode())
         if (digest % 1_000_000) < self.rate * 1_000_000:
             self.fired.append((site, hit))
             return True
         return False
+
+    def for_scope(self, scope: str) -> "ChaosState":
+        """A fresh state with the same seed/rate/sites under a new scope."""
+        return ChaosState(self.seed, self.rate, self.sites, scope)
 
 
 _STATE: ChaosState | None = None
@@ -111,6 +128,7 @@ def chaos(
     seed: int,
     rate: float = DEFAULT_RATE,
     sites: frozenset[str] | set[str] | None = None,
+    scope: str = "",
 ):
     """Activate fault injection for the dynamic extent of the block.
 
@@ -119,7 +137,7 @@ def chaos(
     tests can inspect ``state.fired`` afterwards.
     """
     state = ChaosState(
-        seed, rate, None if sites is None else frozenset(sites)
+        seed, rate, None if sites is None else frozenset(sites), scope
     )
     token = _install(state)
     try:

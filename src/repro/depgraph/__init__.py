@@ -3,15 +3,25 @@
 from .builder import (
     Dependence,
     DependenceGraph,
+    EdgeSpec,
+    GraphPerf,
+    PairOutcome,
     analyze_dependences,
     conservative_graph,
     dependences_for_arrays,
+    evaluate_pair,
+    reference_pairs,
 )
 
 __all__ = [
     "Dependence",
     "DependenceGraph",
+    "EdgeSpec",
+    "GraphPerf",
+    "PairOutcome",
     "analyze_dependences",
     "conservative_graph",
     "dependences_for_arrays",
+    "evaluate_pair",
+    "reference_pairs",
 ]

@@ -24,13 +24,15 @@ Classification conventions (paper Section 2, classic orientation):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..analysis.normalize import normalize_program, rectangular_bounds
 from ..analysis.refpairs import build_pair_problem
+from ..core.cache import ProblemCache, cached_delinearize, default_cache
 from ..core.chaos import chaos_point
-from ..core.delinearize import DelinearizationResult, delinearize
+from ..core.delinearize import DelinearizationResult
 from ..core.resilience import DEFAULT_PAIR_BUDGET, Barrier, Budget
 from ..deptests.problem import Verdict
 from ..dirvec.vectors import (
@@ -73,6 +75,43 @@ class Dependence:
 
 
 @dataclass
+class GraphPerf:
+    """Observability counters for one graph build.
+
+    Everything here is *reporting only*: the graph itself is byte-identical
+    for any ``jobs`` value and any cache state, while these counters describe
+    how the work was done (and so legitimately vary between configurations —
+    they are deliberately excluded from the graph's table/DOT/JSON output).
+    """
+
+    pairs: int = 0
+    jobs: int = 1
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    degraded_pairs: int = 0
+    wall_seconds: float = 0.0
+    #: Per-cascade outcome counts: delinearization verdict -> pair count
+    #: (pairs whose problem could not even be built are counted under
+    #: ``"unbuildable"``; degraded pairs under ``"degraded"``).
+    verdicts: dict[str, int] = field(default_factory=dict)
+
+    def count(self, verdict: str) -> None:
+        self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+
+    def format(self) -> str:
+        cascade = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.verdicts.items())
+        )
+        return (
+            f"pairs={self.pairs} jobs={self.jobs} batches={self.batches} "
+            f"cache hit/miss={self.cache_hits}/{self.cache_misses} "
+            f"degraded={self.degraded_pairs} "
+            f"wall={self.wall_seconds:.3f}s [{cascade}]"
+        )
+
+
+@dataclass
 class DependenceGraph:
     """All dependences of a program, plus the analyzed program itself."""
 
@@ -85,6 +124,9 @@ class DependenceGraph:
     #: the conservative assumed answer on budget exhaustion (RS002) or an
     #: internal dependence-test error (RS001).  Empty on a clean build.
     degradations: list[Diagnostic] = field(default_factory=list)
+    #: How the build went (pair counts, cache hits, wall time); reporting
+    #: only — never part of rendered output compared across configurations.
+    perf: GraphPerf | None = None
 
     def between(self, source_label: str, sink_label: str) -> list[Dependence]:
         return [
@@ -150,6 +192,71 @@ class DependenceGraph:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class EdgeSpec:
+    """A dependence edge described without its :class:`RefContext` endpoints.
+
+    Pair evaluation may happen in a pool worker, whose unpickled program
+    holds *copies* of the parent's IR nodes; edges therefore travel back as
+    specs and the parent rebuilds :class:`Dependence` objects against its
+    own reference contexts, keeping the merged graph byte-identical to a
+    serial build.  ``source_first`` orients the edge within its pair.
+    """
+
+    source_first: bool
+    kind: str
+    direction: DirVec
+    distance: DistanceVec | None = None
+    assumed: bool = False
+
+    def build(self, first: RefContext, second: RefContext) -> Dependence:
+        source, sink = (
+            (first, second) if self.source_first else (second, first)
+        )
+        return Dependence(
+            source, sink, self.kind, self.direction, self.distance, self.assumed
+        )
+
+
+@dataclass
+class PairOutcome:
+    """Everything one pair evaluation produced, in picklable form."""
+
+    index: int
+    edges: list[EdgeSpec] = field(default_factory=list)
+    degradations: list[Diagnostic] = field(default_factory=list)
+    audit: list[Diagnostic] = field(default_factory=list)
+    cached: bool = False
+    #: Delinearization verdict value, ``"unbuildable"`` when no problem
+    #: could be formed, or ``"degraded"`` after a barrier fallback.
+    verdict: str = "unbuildable"
+
+
+def reference_pairs(
+    program: Program, include_input: bool = False
+) -> list[tuple[RefContext, RefContext]]:
+    """The deterministic pair worklist for a (normalized) program.
+
+    Shared by the serial loop, the pool workers (which re-derive the same
+    list from the unpickled program) and :func:`conservative_graph`, so a
+    pair's index means the same thing everywhere.
+    """
+    by_array: dict[str, list[RefContext]] = {}
+    for ref in collect_refs(program):
+        by_array.setdefault(ref.ref.array, []).append(ref)
+    pairs: list[tuple[RefContext, RefContext]] = []
+    for array_refs in by_array.values():
+        for i, first in enumerate(array_refs):
+            for second in array_refs[i:]:
+                if not (first.is_write or second.is_write):
+                    if not include_input:
+                        continue
+                if first is second and not first.is_write:
+                    continue  # self input dependences are meaningless
+                pairs.append((first, second))
+    return pairs
+
+
 def analyze_dependences(
     program: Program,
     assumptions: Assumptions | None = None,
@@ -159,6 +266,10 @@ def analyze_dependences(
     derive_bounds: bool = True,
     strict: bool = False,
     pair_budget: int | None = DEFAULT_PAIR_BUDGET,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache: ProblemCache | None = None,
+    cache_dir: str | None = None,
 ) -> DependenceGraph:
     """Build the dependence graph of a program using delinearization.
 
@@ -180,71 +291,127 @@ def analyze_dependences(
     recorded on :attr:`DependenceGraph.degradations` as RS002/RS001.  With
     ``strict=True`` internal errors re-raise instead (budget exhaustion
     still degrades: giving up is a designed outcome).
+
+    Performance knobs (none of which may change the resulting graph —
+    ``tests/depgraph/test_parallel.py`` holds all of them to byte-identity):
+
+    * ``jobs`` — evaluate pairs on a :class:`ProcessPoolExecutor` with that
+      many workers; pairs are sharded into deterministic batches and merged
+      in pair order.  A crashed worker degrades only its batch to assumed
+      RS001 edges (re-raised under ``strict``).
+    * ``use_cache`` / ``cache`` — memoize verdicts on the canonical-problem
+      cache (:mod:`repro.core.cache`); the process-wide default cache unless
+      an explicit :class:`ProblemCache` is given.  ``use_cache=False``
+      solves every pair from scratch.
+    * ``cache_dir`` — warm the cache from (and persist it to) an on-disk
+      pickle keyed by the deptest schema hash.
     """
+    started = time.perf_counter()
     assumptions = assumptions or Assumptions.empty()
     analyzed = program if normalized else normalize_program(program)
     if derive_bounds:
         assumptions = derive_assumptions(analyzed, assumptions)
     bounds = rectangular_bounds(analyzed)
     graph = DependenceGraph(analyzed)
-    barrier = Barrier(strict=strict)
 
     order = {
         stmt.label: index
         for index, (stmt, _) in enumerate(analyzed.walk_statements())
     }
-    by_array: dict[str, list[RefContext]] = {}
-    for ref in collect_refs(analyzed):
-        by_array.setdefault(ref.ref.array, []).append(ref)
+    pairs = reference_pairs(analyzed, include_input)
+    problem_cache = cache
+    if problem_cache is None and use_cache:
+        problem_cache = default_cache()
+    if problem_cache is not None and cache_dir is not None:
+        problem_cache.load_disk(cache_dir)
 
-    for array_refs in by_array.values():
-        for i, first in enumerate(array_refs):
-            for second in array_refs[i:]:
-                if not (first.is_write or second.is_write):
-                    if not include_input:
-                        continue
-                if first is second and not first.is_write:
-                    continue  # self input dependences are meaningless
-                _guarded_pair(
-                    graph,
-                    barrier,
-                    first,
-                    second,
-                    bounds,
-                    assumptions,
-                    order,
-                    audit,
-                    derive_bounds,
-                    pair_budget,
-                )
-    graph.degradations = sort_diagnostics(barrier.degradations)
+    perf = GraphPerf(pairs=len(pairs), jobs=max(1, jobs))
+    if jobs > 1 and len(pairs) > 1:
+        from .parallel import evaluate_pairs_parallel
+
+        outcomes, perf.batches = evaluate_pairs_parallel(
+            analyzed,
+            pairs,
+            bounds,
+            assumptions,
+            order,
+            jobs=jobs,
+            include_input=include_input,
+            audit=audit,
+            derive_bounds=derive_bounds,
+            pair_budget=pair_budget,
+            strict=strict,
+            cache=problem_cache,
+            cache_dir=cache_dir,
+        )
+    else:
+        outcomes = [
+            evaluate_pair(
+                index,
+                first,
+                second,
+                bounds,
+                assumptions,
+                order,
+                audit=audit,
+                derive_bounds=derive_bounds,
+                pair_budget=pair_budget,
+                strict=strict,
+                cache=problem_cache,
+            )
+            for index, (first, second) in enumerate(pairs)
+        ]
+        perf.batches = 1 if pairs else 0
+
+    degradations: list[Diagnostic] = []
+    for outcome, (first, second) in zip(outcomes, pairs):
+        for spec in outcome.edges:
+            graph.edges.append(spec.build(first, second))
+        degradations.extend(outcome.degradations)
+        graph.audit_diagnostics.extend(outcome.audit)
+        perf.count(outcome.verdict)
+        if outcome.cached:
+            perf.cache_hits += 1
+        elif outcome.verdict not in ("degraded", "unbuildable"):
+            perf.cache_misses += 1
+        if outcome.verdict == "degraded":
+            perf.degraded_pairs += 1
+
+    if problem_cache is not None and cache_dir is not None:
+        problem_cache.save_disk(cache_dir)
+    graph.degradations = sort_diagnostics(degradations)
     if audit:
         graph.audit_diagnostics = sort_diagnostics(graph.audit_diagnostics)
+    perf.wall_seconds = time.perf_counter() - started
+    graph.perf = perf
     return graph
 
 
-def _guarded_pair(
-    graph: DependenceGraph,
-    barrier: Barrier,
+def evaluate_pair(
+    index: int,
     first: RefContext,
     second: RefContext,
     bounds: dict[str, Poly],
     assumptions: Assumptions,
     order: dict[str, int],
-    audit: bool,
-    derive_bounds: bool,
-    pair_budget: int | None,
-) -> None:
-    """Run one pair inside the barrier, degrading to assumed star edges.
+    *,
+    audit: bool = False,
+    derive_bounds: bool = True,
+    pair_budget: int | None = DEFAULT_PAIR_BUDGET,
+    strict: bool = False,
+    cache: ProblemCache | None = None,
+) -> PairOutcome:
+    """Evaluate one pair behind its own barrier and fresh budget.
 
-    Any edges the failed analysis appended before giving up are rolled back
-    first: a partial direction set can be *narrower* than the truth, and
-    narrower is unsound.  The assumed all-``*`` edges that replace them
-    cover every possible dependence.
+    On failure the outcome's partial edges are rolled back: a partial
+    direction set can be *narrower* than the truth, and narrower is unsound.
+    The assumed all-``*`` edges that replace them cover every possible
+    dependence.
     """
     from ..lint import codes
 
-    mark = len(graph.edges)
+    outcome = PairOutcome(index=index)
+    barrier = Barrier(strict=strict)
     label = (
         f"{first.stmt.label}:{first.ref.array} / "
         f"{second.stmt.label}:{second.ref.array}"
@@ -257,8 +424,8 @@ def _guarded_pair(
 
     def analyze() -> None:
         chaos_point("depgraph.pair")
-        _analyze_pair(
-            graph,
+        _pair_specs(
+            outcome,
             first,
             second,
             bounds,
@@ -267,14 +434,17 @@ def _guarded_pair(
             audit,
             derive_bounds,
             budget,
+            cache,
         )
 
     def degrade() -> None:
-        del graph.edges[mark:]
+        outcome.edges.clear()
         common = sum(
             1 for a, b in zip(first.loops, second.loops) if a is b
         )
-        _add_assumed_edges(graph, first, second, common)
+        outcome.edges.extend(_assumed_specs(first, second, common))
+        outcome.cached = False
+        outcome.verdict = "degraded"
 
     barrier.run(
         "dependence pair",
@@ -284,18 +454,21 @@ def _guarded_pair(
         statement=label,
         span=first.stmt.span,
     )
+    outcome.degradations = barrier.degradations
+    return outcome
 
 
-def _analyze_pair(
-    graph: DependenceGraph,
+def _pair_specs(
+    outcome: PairOutcome,
     first: RefContext,
     second: RefContext,
     bounds: dict[str, Poly],
     assumptions: Assumptions,
     order: dict[str, int],
-    audit: bool = False,
-    derive_bounds: bool = False,
-    budget: Budget | None = None,
+    audit: bool,
+    derive_bounds: bool,
+    budget: Budget | None,
+    cache: ProblemCache | None,
 ) -> None:
     if derive_bounds:
         # A dependence requires both statement instances to execute, so the
@@ -307,11 +480,18 @@ def _analyze_pair(
         assumptions = nonempty_loop_assumptions(loop_vars, bounds, assumptions)
     pair = build_pair_problem(first, second, bounds, assumptions)
     if pair.problem is None:
-        _add_assumed_edges(graph, first, second, pair.common_levels)
+        outcome.edges.extend(
+            _assumed_specs(first, second, pair.common_levels)
+        )
         return
-    result = delinearize(pair.problem, keep_trace=audit, budget=budget)
+    hits_before = cache.stats.hits if cache is not None else 0
+    result = cached_delinearize(
+        pair.problem, cache=cache, budget=budget, keep_trace=audit
+    )
+    outcome.cached = cache is not None and cache.stats.hits > hits_before
+    outcome.verdict = result.verdict.value
     if audit:
-        graph.audit_diagnostics.extend(
+        outcome.audit.extend(
             audit_result(
                 pair.problem,
                 result,
@@ -353,26 +533,26 @@ def _analyze_pair(
             backward.add(DirVec([D_EQ] * pair.common_levels))
 
     for direction in summarize(forward):
-        graph.edges.append(
-            _make_edge(first, second, direction, result, negate=False)
+        outcome.edges.append(
+            _make_spec(first, second, True, direction, result, negate=False)
         )
     for direction in summarize(backward):
-        graph.edges.append(
-            _make_edge(second, first, direction, result, negate=True)
+        outcome.edges.append(
+            _make_spec(second, first, False, direction, result, negate=True)
         )
 
 
-def _make_edge(
+def _make_spec(
     source: RefContext,
     sink: RefContext,
+    source_first: bool,
     direction: DirVec,
     result: DelinearizationResult,
     negate: bool,
-) -> Dependence:
+) -> EdgeSpec:
     distance = _distance_for(direction, result, negate)
-    return Dependence(
-        source,
-        sink,
+    return EdgeSpec(
+        source_first,
         _kind(source.is_write, sink.is_write),
         direction,
         distance,
@@ -414,35 +594,23 @@ def _executes_before(
     return not first.is_write
 
 
-def _add_assumed_edges(
-    graph: DependenceGraph,
-    first: RefContext,
-    second: RefContext,
-    common_levels: int,
-) -> None:
+def _assumed_specs(
+    first: RefContext, second: RefContext, common_levels: int
+) -> list[EdgeSpec]:
     """Conservative edges when no dimension was analyzable."""
     star = DirVec.star(common_levels)
-    graph.edges.append(
-        Dependence(
-            first,
-            second,
-            _kind(first.is_write, second.is_write),
-            star,
-            None,
-            assumed=True,
+    specs = [
+        EdgeSpec(
+            True, _kind(first.is_write, second.is_write), star, None, True
         )
-    )
+    ]
     if first is not second:
-        graph.edges.append(
-            Dependence(
-                second,
-                first,
-                _kind(second.is_write, first.is_write),
-                star,
-                None,
-                assumed=True,
+        specs.append(
+            EdgeSpec(
+                False, _kind(second.is_write, first.is_write), star, None, True
             )
         )
+    return specs
 
 
 def dependences_for_arrays(
@@ -465,19 +633,10 @@ def conservative_graph(
     vectorizer into a fully serial schedule).
     """
     graph = DependenceGraph(program)
-    by_array: dict[str, list[RefContext]] = {}
-    for ref in collect_refs(program):
-        by_array.setdefault(ref.ref.array, []).append(ref)
-    for array_refs in by_array.values():
-        for i, first in enumerate(array_refs):
-            for second in array_refs[i:]:
-                if not (first.is_write or second.is_write):
-                    if not include_input:
-                        continue
-                if first is second and not first.is_write:
-                    continue
-                common = sum(
-                    1 for a, b in zip(first.loops, second.loops) if a is b
-                )
-                _add_assumed_edges(graph, first, second, common)
+    for first, second in reference_pairs(program, include_input):
+        common = sum(
+            1 for a, b in zip(first.loops, second.loops) if a is b
+        )
+        for spec in _assumed_specs(first, second, common):
+            graph.edges.append(spec.build(first, second))
     return graph

@@ -1,0 +1,243 @@
+"""Multiprocess pair evaluation for the dependence graph builder.
+
+The pair worklist is embarrassingly parallel: every pair is evaluated
+against the same immutable inputs (normalized program, bounds, assumptions)
+behind its own barrier and budget.  This module shards the worklist into
+deterministic fixed-size batches, runs them on a
+:class:`concurrent.futures.ProcessPoolExecutor`, and merges the outcomes in
+pair-index order — so the resulting graph is byte-identical to a serial
+build for any worker count.
+
+Design points that keep the parallel path honest:
+
+* workers never ship edges with live IR references; they return
+  :class:`~repro.depgraph.builder.EdgeSpec` outcomes and the parent rebuilds
+  edges against its own reference contexts;
+* workers re-derive the pair list from the unpickled program with the same
+  :func:`~repro.depgraph.builder.reference_pairs` the parent used, so pair
+  index ``i`` names the same pair in every process;
+* a batch whose future fails (a crashed or killed worker, an unpicklable
+  error) degrades to assumed all-``*`` RS001 edges for *its* pairs only —
+  the merge is otherwise unaffected.  Under ``strict`` the error re-raises;
+* chaos state is propagated explicitly (plus the ``REPRO_CHAOS_*``
+  environment for spawn-based platforms) and each batch runs under a fresh
+  :class:`~repro.core.chaos.ChaosState` scoped to its batch index, so fault
+  injection stays deterministic regardless of which worker process picks up
+  which batch;
+* each worker keeps a process-local :class:`~repro.core.cache.ProblemCache`
+  (warmed from ``cache_dir`` when given) and ships newly-computed entries
+  back with its outcomes, so the parent's cache — and the persistent file —
+  end up as warm as a serial run's.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.cache import ProblemCache
+from ..core.chaos import ENV_RATE, ENV_SEED, ENV_SITES, active_state, maybe_chaos
+from ..ir import Program, RefContext
+from ..symbolic import Assumptions, Poly
+
+#: Pairs per batch.  Fixed (not derived from ``jobs``) so the batch a pair
+#: lands in — and therefore its chaos scope and failure blast radius — is a
+#: function of the program alone.
+BATCH_SIZE = 32
+
+
+@dataclass
+class WorkerPayload:
+    """Everything a worker needs, shipped once per process at pool start."""
+
+    program: Program
+    assumptions: Assumptions
+    bounds: dict[str, Poly]
+    order: dict[str, int]
+    include_input: bool
+    audit: bool
+    derive_bounds: bool
+    pair_budget: int | None
+    strict: bool
+    use_cache: bool
+    cache_dir: str | None
+    #: (seed, rate, sites) of the parent's active chaos state, if any.
+    chaos: tuple[int, float, frozenset[str] | None] | None
+    #: ``REPRO_CHAOS_*`` values to mirror into the worker environment.
+    chaos_env: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _WorkerContext:
+    payload: WorkerPayload
+    pairs: list[tuple[RefContext, RefContext]]
+    cache: ProblemCache | None
+
+
+_CTX: _WorkerContext | None = None
+
+
+def _init_worker(payload: WorkerPayload) -> None:
+    global _CTX
+    from .builder import reference_pairs
+
+    for name in (ENV_SEED, ENV_RATE, ENV_SITES):
+        if name in payload.chaos_env:
+            os.environ[name] = payload.chaos_env[name]
+        else:
+            os.environ.pop(name, None)
+    cache = None
+    if payload.use_cache:
+        cache = ProblemCache()
+        if payload.cache_dir is not None:
+            cache.load_disk(payload.cache_dir)
+    _CTX = _WorkerContext(
+        payload=payload,
+        pairs=reference_pairs(payload.program, payload.include_input),
+        cache=cache,
+    )
+
+
+def _run_batch(batch_index: int, lo: int, hi: int):
+    """Evaluate pairs ``lo..hi`` in this worker; returns outcomes + cache."""
+    from .builder import evaluate_pair
+
+    ctx = _CTX
+    assert ctx is not None, "worker used before initialization"
+    payload = ctx.payload
+    state = None
+    if payload.chaos is not None:
+        from ..core.chaos import ChaosState
+
+        seed, rate, sites = payload.chaos
+        state = ChaosState(seed, rate, sites, scope=f"batch{batch_index}")
+    outcomes = []
+    with maybe_chaos(state):
+        for index in range(lo, hi):
+            first, second = ctx.pairs[index]
+            outcomes.append(
+                evaluate_pair(
+                    index,
+                    first,
+                    second,
+                    payload.bounds,
+                    payload.assumptions,
+                    payload.order,
+                    audit=payload.audit,
+                    derive_bounds=payload.derive_bounds,
+                    pair_budget=payload.pair_budget,
+                    strict=payload.strict,
+                    cache=ctx.cache,
+                )
+            )
+    fresh = ctx.cache.take_fresh() if ctx.cache is not None else {}
+    return outcomes, fresh
+
+
+def _batches(n_pairs: int) -> list[tuple[int, int]]:
+    """Deterministic ``(lo, hi)`` shards of the pair index space."""
+    return [
+        (lo, min(lo + BATCH_SIZE, n_pairs))
+        for lo in range(0, n_pairs, BATCH_SIZE)
+    ]
+
+
+def _degraded_outcomes(pairs, lo: int, hi: int, error: BaseException):
+    """Assumed RS001 outcomes for a batch whose worker died."""
+    from ..lint import codes
+    from ..lint.diagnostics import Diagnostic
+    from .builder import PairOutcome, _assumed_specs
+
+    outcomes = []
+    for index in range(lo, hi):
+        first, second = pairs[index]
+        label = (
+            f"{first.stmt.label}:{first.ref.array} / "
+            f"{second.stmt.label}:{second.ref.array}"
+        )
+        common = sum(1 for a, b in zip(first.loops, second.loops) if a is b)
+        outcome = PairOutcome(index=index, verdict="degraded")
+        outcome.edges.extend(_assumed_specs(first, second, common))
+        outcome.degradations.append(
+            Diagnostic.make(
+                codes.RS001,
+                "dependence pair: worker failed: "
+                f"{type(error).__name__}: {error}",
+                statement=label,
+                span=first.stmt.span,
+            )
+        )
+        outcomes.append(outcome)
+    return outcomes
+
+
+def evaluate_pairs_parallel(
+    program: Program,
+    pairs: list[tuple[RefContext, RefContext]],
+    bounds: dict[str, Poly],
+    assumptions: Assumptions,
+    order: dict[str, int],
+    *,
+    jobs: int,
+    include_input: bool,
+    audit: bool,
+    derive_bounds: bool,
+    pair_budget: int | None,
+    strict: bool,
+    cache: ProblemCache | None,
+    cache_dir: str | None,
+):
+    """Evaluate every pair on a process pool; returns (outcomes, batches).
+
+    Outcomes come back in pair-index order.  New cache entries computed by
+    workers are merged into ``cache`` so later calls (and the persistent
+    save) see them.
+    """
+    chaos_state = active_state()
+    payload = WorkerPayload(
+        program=program,
+        assumptions=assumptions,
+        bounds=bounds,
+        order=order,
+        include_input=include_input,
+        audit=audit,
+        derive_bounds=derive_bounds,
+        pair_budget=pair_budget,
+        strict=strict,
+        use_cache=cache is not None,
+        cache_dir=cache_dir,
+        chaos=(
+            None
+            if chaos_state is None
+            else (chaos_state.seed, chaos_state.rate, chaos_state.sites)
+        ),
+        chaos_env={
+            name: os.environ[name]
+            for name in (ENV_SEED, ENV_RATE, ENV_SITES)
+            if name in os.environ
+        },
+    )
+    shards = _batches(len(pairs))
+    outcomes_by_index: dict[int, object] = {}
+    workers = min(jobs, len(shards))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(payload,)
+    ) as pool:
+        futures = [
+            (batch_index, lo, hi, pool.submit(_run_batch, batch_index, lo, hi))
+            for batch_index, (lo, hi) in enumerate(shards)
+        ]
+        for batch_index, lo, hi, future in futures:
+            try:
+                outcomes, fresh = future.result()
+            except BaseException as error:  # noqa: BLE001 — batch barrier
+                if strict:
+                    raise
+                outcomes = _degraded_outcomes(pairs, lo, hi, error)
+                fresh = {}
+            for outcome in outcomes:
+                outcomes_by_index[outcome.index] = outcome
+            if cache is not None and fresh:
+                cache.merge(fresh)
+    return [outcomes_by_index[i] for i in range(len(pairs))], len(shards)

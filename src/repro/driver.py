@@ -18,6 +18,7 @@ With ``strict=True`` (the mode CI runs in) internal errors re-raise.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from .analysis import (
@@ -29,7 +30,12 @@ from .analysis import (
 from .analysis.linearize import alias_groups
 from .analysis.pointers import convert_pointers
 from .core.resilience import Barrier
-from .depgraph import DependenceGraph, analyze_dependences, conservative_graph
+from .depgraph import (
+    DependenceGraph,
+    GraphPerf,
+    analyze_dependences,
+    conservative_graph,
+)
 from .frontend import parse_c, parse_fortran
 from .ir import Program, format_program
 from .lint import codes
@@ -42,6 +48,51 @@ from .vectorizer import (
     vectorize,
     verify_schedule,
 )
+
+
+@dataclass
+class PerfReport:
+    """How the compile spent its time: wall seconds per phase plus the
+    dependence-analysis counters (pairs, cache hits, cascade verdicts).
+
+    Reporting only — none of this may influence, or appear inside, the
+    outputs the determinism tests compare across ``jobs``/cache settings.
+    """
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    graph: GraphPerf | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def format(self) -> str:
+        lines = ["phase timings:"]
+        for phase, seconds in self.phase_seconds.items():
+            lines.append(f"  {phase}: {seconds * 1000:.1f}ms")
+        lines.append(f"  total: {self.total_seconds * 1000:.1f}ms")
+        if self.graph is not None:
+            lines.append(f"dependence analysis: {self.graph.format()}")
+        return "\n".join(lines)
+
+
+class _TimedBarrier(Barrier):
+    """A barrier that also meters wall time per phase name."""
+
+    def __init__(self, strict: bool = False):
+        super().__init__(strict)
+        self.phase_seconds: dict[str, float] = {}
+
+    def run(self, phase, fn, fallback=None, **kwargs):
+        started = time.perf_counter()
+        try:
+            return super().run(phase, fn, fallback, **kwargs)
+        finally:
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0)
+                + time.perf_counter()
+                - started
+            )
 
 
 @dataclass
@@ -63,6 +114,8 @@ class CompilationReport:
     #: degraded to their conservative fallback instead of crashing.  Empty
     #: on a fault-free compile.
     degradations: list[Diagnostic] = field(default_factory=list)
+    #: Per-phase wall time and dependence-analysis counters.
+    perf: PerfReport = field(default_factory=PerfReport)
 
     @property
     def dependence_count(self) -> int:
@@ -133,6 +186,9 @@ def compile_fortran(
     derive_bounds: bool = True,
     verify: bool = True,
     strict: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
 ) -> CompilationReport:
     """Run the whole pipeline on FORTRAN source text.
 
@@ -145,10 +201,15 @@ def compile_fortran(
     ``strict=True`` re-raises internal errors instead of degrading phases
     conservatively (budget exhaustion still degrades — giving up on an
     oversized dependence system is a designed outcome, not a bug).
+    ``jobs``, ``use_cache`` and ``cache_dir`` are the dependence-analysis
+    performance knobs (see :func:`repro.depgraph.analyze_dependences`); the
+    report is byte-identical for every setting, only ``report.perf`` varies.
     """
-    barrier = Barrier(strict=strict)
+    barrier = _TimedBarrier(strict=strict)
     phases = ["parse"]
+    parse_started = time.perf_counter()
     program = parse_fortran(source)
+    barrier.phase_seconds["parse"] = time.perf_counter() - parse_started
 
     program = barrier.run(
         "normalize", lambda: normalize_program(program), lambda: program
@@ -191,6 +252,9 @@ def compile_fortran(
         derive_bounds=derive_bounds,
         verify=verify,
         strict=strict,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
     )
 
 
@@ -201,12 +265,18 @@ def compile_c(
     derive_bounds: bool = True,
     verify: bool = True,
     strict: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
 ) -> CompilationReport:
     """Run the whole pipeline on C source text (see :func:`compile_fortran`
-    for the ``audit``, ``derive_bounds``, ``verify`` and ``strict`` flags)."""
-    barrier = Barrier(strict=strict)
+    for the ``audit``, ``derive_bounds``, ``verify``, ``strict`` and
+    ``jobs``/``use_cache``/``cache_dir`` flags)."""
+    barrier = _TimedBarrier(strict=strict)
     phases = ["parse"]
+    parse_started = time.perf_counter()
     program, info = parse_c(source)
+    barrier.phase_seconds["parse"] = time.perf_counter() - parse_started
     if info.pointers:
         base = program
         converted = barrier.run(
@@ -233,6 +303,9 @@ def compile_c(
         derive_bounds=derive_bounds,
         verify=verify,
         strict=strict,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
     )
 
 
@@ -240,7 +313,7 @@ def _back_half(
     source: str,
     language: str,
     program: Program,
-    barrier: Barrier,
+    barrier: _TimedBarrier,
     phases: list[str],
     *,
     assumptions: Assumptions | None,
@@ -248,6 +321,9 @@ def _back_half(
     derive_bounds: bool,
     verify: bool,
     strict: bool,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
 ) -> CompilationReport:
     """Dependence analysis through emission, each phase barriered.
 
@@ -278,6 +354,9 @@ def _back_half(
                 audit=audit,
                 derive_bounds=derive_bounds,
                 strict=strict,
+                jobs=jobs,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
             ),
             lambda: conservative_graph(program),
         )
@@ -328,6 +407,7 @@ def _back_half(
         phases,
         schedule_diags,
         sort_diagnostics([*graph.degradations, *barrier.degradations]),
+        PerfReport(phase_seconds=barrier.phase_seconds, graph=graph.perf),
     )
 
 

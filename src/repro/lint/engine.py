@@ -52,6 +52,11 @@ class LintReport:
     language: str
     diagnostics: list[Diagnostic] = field(default_factory=list)
     program: Program | None = None  # None when parsing failed
+    #: Parsing succeeded.  Distinct from ``program is not None``: the CLI's
+    #: multi-file fan-out strips ``program`` from worker reports (the parent
+    #: only renders diagnostics), and this flag keeps the summary line
+    #: identical either way.
+    parsed: bool = False
     audited_pairs: int = 0
 
     @property
@@ -79,6 +84,9 @@ def lint_source(
     ranges: bool = True,
     schedule: bool = False,
     strict: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
 ) -> LintReport:
     """Lint FORTRAN or C source text end to end.
 
@@ -88,6 +96,9 @@ def lint_source(
     additionally vectorizes the program and statically verifies the
     resulting schedule (``VR`` codes).  ``strict=True`` re-raises internal
     errors in the graph passes instead of degrading conservatively.
+    ``jobs``/``use_cache``/``cache_dir`` tune the dependence-analysis pass
+    (see :func:`repro.depgraph.analyze_dependences`) without changing its
+    result.
 
     Parsing runs in recovery mode: every syntax error in the file becomes
     its own span-carrying ``DL001``, with an ``RS004`` note that the parser
@@ -107,6 +118,7 @@ def lint_source(
     except ParseError as error:
         report.diagnostics = _parse_failure([error])
         return report
+    report.parsed = True
     try:
         normalized = normalize_program(program)
     except NormalizationError as error:
@@ -136,7 +148,7 @@ def lint_source(
     if (audit or schedule) and max_severity(diags) != codes.ERROR:
         diags += _graph_passes(
             normalized, assumptions, exhaustive_limit, report, ranges,
-            audit, schedule, strict,
+            audit, schedule, strict, jobs, use_cache, cache_dir,
         )
     report.diagnostics = sort_diagnostics(diags)
     return report
@@ -167,6 +179,9 @@ def _graph_passes(
     audit: bool = True,
     schedule: bool = False,
     strict: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
 ) -> list[Diagnostic]:
     """The dependence-graph-backed passes: soundness audit and, on request,
     vectorization plus schedule verification (one graph serves both).
@@ -189,6 +204,9 @@ def _graph_passes(
             audit=audit,
             derive_bounds=derive_bounds,
             strict=strict,
+            jobs=jobs,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
         ),
         lambda: conservative_graph(program),
     )

@@ -1,0 +1,178 @@
+"""The problem cache: LRU behaviour, persistence, and its safety bypasses."""
+
+import pickle
+
+import pytest
+
+from repro.core import delinearize
+from repro.core.cache import (
+    PICKLE_VERSION,
+    ProblemCache,
+    cached_delinearize,
+    clear_all,
+    default_cache,
+    persistent_path,
+    schema_hash,
+)
+from repro.core.canon import canonicalize, result_to_outcome
+from repro.core.chaos import chaos
+from repro.core.resilience import Budget, BudgetExhausted
+from repro.symbolic.poly import _poly_gcd_cached, poly_gcd
+
+from .test_canon import result_tuple, two_level
+
+
+def entry_for(problem):
+    form = canonicalize(problem)
+    return form.key, result_to_outcome(delinearize(problem), form)
+
+
+class TestLRU:
+    def test_eviction_in_insertion_order(self):
+        cache = ProblemCache(maxsize=2)
+        keys = []
+        for const in (1, 2, 3):
+            key, outcome = entry_for(two_level(const=const))
+            cache.store(key, outcome)
+            keys.append(key)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.lookup(keys[0]) is None  # the oldest was evicted
+        assert cache.lookup(keys[2]) is not None
+
+    def test_lookup_refreshes_recency(self):
+        cache = ProblemCache(maxsize=2)
+        keys = []
+        for const in (1, 2):
+            key, outcome = entry_for(two_level(const=const))
+            cache.store(key, outcome)
+            keys.append(key)
+        cache.lookup(keys[0])  # now key[1] is the LRU entry
+        key3, outcome3 = entry_for(two_level(const=3))
+        cache.store(key3, outcome3)
+        assert cache.lookup(keys[0]) is not None
+        assert cache.lookup(keys[1]) is None
+
+    def test_counters(self):
+        cache = ProblemCache()
+        key, outcome = entry_for(two_level(const=7))
+        assert cache.lookup(key) is None
+        cache.store(key, outcome)
+        cache.lookup(key)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (
+            1,
+            1,
+            1,
+        )
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            ProblemCache(maxsize=0)
+
+    def test_take_fresh_drains(self):
+        cache = ProblemCache()
+        key, outcome = entry_for(two_level(const=7))
+        cache.store(key, outcome)
+        assert cache.take_fresh() == {key: outcome}
+        assert cache.take_fresh() == {}
+        assert len(cache) == 1  # draining does not forget the entry
+
+    def test_merge_adopts_worker_entries(self):
+        a, b = ProblemCache(), ProblemCache()
+        key, outcome = entry_for(two_level(const=7))
+        a.store(key, outcome)
+        b.merge(a.take_fresh())
+        assert b.lookup(key) == outcome
+
+
+class TestClearAll:
+    def test_resets_default_cache_and_poly_gcd_lru(self):
+        cached_delinearize(two_level(const=-12), cache=default_cache())
+        poly_gcd(6, 4)
+        assert len(default_cache()) > 0
+        assert _poly_gcd_cached.cache_info().currsize > 0
+        clear_all()
+        assert len(default_cache()) == 0
+        assert _poly_gcd_cached.cache_info().currsize == 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        cache = ProblemCache()
+        key, outcome = entry_for(two_level(const=-12))
+        cache.store(key, outcome)
+        assert cache.save_disk(tmp_path) == 1
+        warm = ProblemCache()
+        assert warm.load_disk(tmp_path) == 1
+        assert warm.stats.loaded == 1
+        assert warm.lookup(key) == outcome
+
+    def test_save_merges_with_existing_file(self, tmp_path):
+        first, second = ProblemCache(), ProblemCache()
+        key1, outcome1 = entry_for(two_level(const=1))
+        key2, outcome2 = entry_for(two_level(const=2))
+        first.store(key1, outcome1)
+        second.store(key2, outcome2)
+        first.save_disk(tmp_path)
+        assert second.save_disk(tmp_path) == 2  # both survive
+        warm = ProblemCache()
+        assert warm.load_disk(tmp_path) == 2
+
+    def test_path_is_schema_versioned(self, tmp_path):
+        assert schema_hash() in persistent_path(tmp_path).name
+
+    def test_wrong_pickle_version_is_ignored(self, tmp_path):
+        path = persistent_path(tmp_path)
+        path.write_bytes(
+            pickle.dumps({"version": PICKLE_VERSION + 1, "entries": {"k": 1}})
+        )
+        assert ProblemCache().load_disk(tmp_path) == 0
+
+    def test_corrupt_file_is_ignored(self, tmp_path):
+        persistent_path(tmp_path).write_bytes(b"not a pickle")
+        assert ProblemCache().load_disk(tmp_path) == 0
+
+    def test_missing_dir_is_ignored(self, tmp_path):
+        assert ProblemCache().load_disk(tmp_path / "nope") == 0
+
+
+class TestBypasses:
+    def test_chaos_active_bypasses_the_cache(self):
+        cache = ProblemCache()
+        problem = two_level(const=-12)
+        with chaos(1, rate=0.0):
+            cached_delinearize(problem, cache=cache)
+        assert len(cache) == 0
+        assert cache.stats.misses == 0  # never even consulted
+
+    def test_keep_trace_bypasses_and_keeps_the_trace(self):
+        cache = ProblemCache()
+        problem = two_level(const=-12)
+        cached_delinearize(problem, cache=cache)  # warm the entry
+        result = cached_delinearize(problem, cache=cache, keep_trace=True)
+        assert result.trace  # a replay could not have produced this
+        assert cache.stats.hits == 0
+
+    def test_no_cache_is_plain_delinearize(self):
+        problem = two_level(const=-12)
+        assert result_tuple(cached_delinearize(problem)) == result_tuple(
+            delinearize(problem)
+        )
+
+    def test_exhausted_budget_stores_nothing(self):
+        cache = ProblemCache()
+        with pytest.raises(BudgetExhausted):
+            cached_delinearize(
+                two_level(const=-12), cache=cache, budget=Budget(steps=1)
+            )
+        assert len(cache) == 0
+
+    def test_warm_hit_ignores_budget_pressure(self):
+        # A cached answer is complete; replaying it must not re-charge the
+        # solver's budget.
+        cache = ProblemCache()
+        problem = two_level(const=-12)
+        fresh = cached_delinearize(problem, cache=cache)
+        warm = cached_delinearize(problem, cache=cache, budget=Budget(steps=1))
+        assert cache.stats.hits == 1
+        assert result_tuple(warm) == result_tuple(fresh)

@@ -1,0 +1,234 @@
+"""Canonicalization is sound: equal keys mean equal (mapped) answers.
+
+The cache's whole safety argument rests on two properties of
+:mod:`repro.core.canon`:
+
+1. the normal form collapses exactly the transformations that preserve the
+   solver's answer byte-for-byte (renaming, integer scaling, level
+   permutation, identical assumption fingerprints) — and nothing else;
+2. a :class:`CachedOutcome` round-trips through the level permutation:
+   replaying a stored answer for a differently-ordered twin yields exactly
+   what a fresh solve of that twin would.
+
+Property 2 is held to a hypothesis differential over random problems,
+including symbolic / assumption-bearing ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import delinearize
+from repro.core.cache import ProblemCache, cached_delinearize
+from repro.core.canon import canonicalize, outcome_to_result, result_to_outcome
+from repro.deptests import BoundedVar, DependenceProblem
+from repro.dirvec import DirVec
+from repro.symbolic import Assumptions, LinExpr, Poly
+
+
+def two_level(
+    ci=1,
+    cj=10,
+    const=0,
+    zi=4,
+    zj=9,
+    names=("i1", "i2", "j1", "j2"),
+    i_level=1,
+    scale=1,
+    assumptions=None,
+):
+    """A 2-D pair problem ``ci*(i1-i2) + cj*(j1-j2) + const = 0``.
+
+    ``i_level`` places the i-pair at loop level 1 or 2 (the j-pair takes the
+    other), modelling the same reference pair met under either nesting
+    order.  ``scale`` multiplies the whole equation.  Coefficient insertion
+    order is always i1, i2, j1, j2 — the canon key is insertion-order
+    sensitive, so twins must present variables in matching order.
+    """
+    i1, i2, j1, j2 = names
+    const = Poly.coerce(const) * scale
+    eq = LinExpr(
+        {i1: ci * scale, i2: -ci * scale, j1: cj * scale, j2: -cj * scale},
+        const,
+    )
+    j_level = 3 - i_level
+    variables = [
+        BoundedVar.make(i1, zi, i_level, 0),
+        BoundedVar.make(i2, zi, i_level, 1),
+        BoundedVar.make(j1, zj, j_level, 0),
+        BoundedVar.make(j2, zj, j_level, 1),
+    ]
+    return DependenceProblem(
+        [eq], variables, common_levels=2, assumptions=assumptions
+    )
+
+
+def result_tuple(result):
+    """The observable answer: everything a cache replay must reproduce."""
+    return (
+        result.verdict,
+        frozenset(result.direction_vectors),
+        dict(result.distances),
+        result.dimensions_found,
+    )
+
+
+class TestKeyEquality:
+    def test_renaming_collapses(self):
+        a = two_level()
+        b = two_level(names=("p1", "p2", "q1", "q2"))
+        assert canonicalize(a).key == canonicalize(b).key
+
+    def test_integer_scaling_collapses(self):
+        a = two_level(const=5)
+        b = two_level(const=5, scale=3)
+        assert canonicalize(a).key == canonicalize(b).key
+
+    def test_level_permutation_collapses(self):
+        # Same reference pair, loops nested in the other order.  The i and j
+        # signatures differ (bounds 4 vs 9, coefficients 1 vs 10), so the
+        # Figure-4 signature sort lines both problems up on one key.
+        a = two_level(i_level=1)
+        b = two_level(i_level=2)
+        fa, fb = canonicalize(a), canonicalize(b)
+        assert fa.key == fb.key
+        assert fa.perm != fb.perm
+
+    def test_symmetric_levels_keep_insertion_order_keys(self):
+        # When the two levels are indistinguishable the sort tie-breaks on
+        # the original level number; swapping them changes the key (a miss,
+        # never an unsound hit).
+        a = two_level(ci=2, cj=2, zi=5, zj=5, i_level=1)
+        b = two_level(ci=2, cj=2, zi=5, zj=5, i_level=2)
+        assert canonicalize(a).key != canonicalize(b).key
+
+    def test_different_constants_differ(self):
+        assert canonicalize(two_level(const=1)).key != canonicalize(
+            two_level(const=2)
+        ).key
+
+    def test_sign_flip_is_not_collapsed(self):
+        # Deliberate: the scan's remainder-candidate order is not
+        # sign-symmetric, so -eq must get its own entry.
+        a = two_level(const=5)
+        b = two_level(ci=-1, cj=-10, const=-5)
+        assert canonicalize(a).key != canonicalize(b).key
+
+    def test_assumption_fingerprint_discriminates(self):
+        n = Poly.symbol("n")
+        tight = Assumptions.empty().with_interval("n", 0, 3)
+        loose = Assumptions.empty().with_interval("n", 0, 30)
+        a = two_level(const=n, assumptions=tight)
+        b = two_level(const=n, assumptions=loose)
+        assert canonicalize(a).key != canonicalize(b).key
+
+    def test_unmentioned_symbols_do_not_pollute_the_key(self):
+        base = Assumptions.empty().with_interval("n", 0, 3)
+        extra = base.with_interval("unrelated", 1, 2)
+        n = Poly.symbol("n")
+        a = two_level(const=n, assumptions=base)
+        b = two_level(const=n, assumptions=extra)
+        assert canonicalize(a).key == canonicalize(b).key
+
+
+class TestVectorMapping:
+    def test_round_trip_through_permutation(self):
+        form = canonicalize(two_level(i_level=2))
+        for vec in (DirVec.parse("(<, =)"), DirVec.parse("(>, *)")):
+            assert form.from_canonical_vector(form.to_canonical_vector(vec)) == vec
+
+    def test_outcome_round_trip_is_exact(self):
+        # 12 = 2*1 + 10*1: distance 2 at the i level, 1 at the j level.
+        problem = two_level(const=-12)
+        form = canonicalize(problem)
+        fresh = delinearize(problem)
+        replay = outcome_to_result(result_to_outcome(fresh, form), form)
+        assert result_tuple(replay) == result_tuple(fresh)
+
+    def test_permuted_twin_hits_and_maps_directions(self):
+        base = two_level(const=-12, i_level=1)
+        twin = two_level(const=-12, i_level=2)
+        cache = ProblemCache()
+        cached_delinearize(base, cache=cache)
+        fresh = delinearize(twin)
+        warm = cached_delinearize(twin, cache=cache)
+        assert cache.stats.hits == 1
+        assert result_tuple(warm) == result_tuple(fresh)
+
+
+# -- hypothesis differential -------------------------------------------------
+
+
+@st.composite
+def problems_with_twins(draw):
+    """A random problem plus an answer-preserving transformed twin."""
+    ci = draw(st.integers(-6, 6))
+    cj = draw(st.integers(-12, 12))
+    zi = draw(st.integers(0, 6))
+    zj = draw(st.integers(1, 8))
+    symbolic = draw(st.booleans())
+    if symbolic:
+        lower = draw(st.integers(0, 4))
+        upper = lower + draw(st.integers(0, 6))
+        const = Poly.symbol("n") + draw(st.integers(-10, 10))
+        assumptions = Assumptions.empty().with_interval("n", lower, upper)
+    else:
+        const = Poly.const(draw(st.integers(-30, 30)))
+        assumptions = None
+    base = two_level(
+        ci, cj, const, zi, zj, i_level=1, assumptions=assumptions
+    )
+    twin_i_level = draw(st.sampled_from([1, 2]))
+    twin = two_level(
+        ci,
+        cj,
+        const,
+        zi,
+        zj,
+        names=("v1", "v2", "w1", "w2"),
+        i_level=twin_i_level,
+        scale=draw(st.integers(1, 4)),
+        assumptions=assumptions,
+    )
+    return base, twin, twin_i_level == 2
+
+
+@given(problems_with_twins())
+@settings(max_examples=150, deadline=None)
+def test_cache_replay_equals_fresh_solve(case):
+    """The ISSUE's soundness differential: warm answer == fresh answer.
+
+    The twin differs from the cached problem by renaming, integer scaling
+    and possibly a level swap; whether the lookup hits or misses, the
+    replayed verdict, direction vectors and distances must equal a fresh,
+    cache-free solve of the twin — after mapping through the permutation.
+    """
+    base, twin, _ = case
+    fresh = delinearize(twin)
+    cache = ProblemCache()
+    cached_delinearize(base, cache=cache)
+    warm = cached_delinearize(twin, cache=cache)
+    assert result_tuple(warm) == result_tuple(fresh)
+    if canonicalize(base).key == canonicalize(twin).key:
+        assert cache.stats.hits == 1
+
+
+@given(problems_with_twins())
+@settings(max_examples=100, deadline=None)
+def test_rename_and_scale_always_share_a_key(case):
+    base, twin, swapped = case
+    if not swapped:
+        # Rename + scale alone (no level swap) must always collapse.
+        assert canonicalize(base).key == canonicalize(twin).key
+
+
+@given(problems_with_twins())
+@settings(max_examples=100, deadline=None)
+def test_self_replay_is_identity(case):
+    """Storing then immediately replaying the same problem is exact."""
+    base, _, _ = case
+    fresh = delinearize(base)
+    cache = ProblemCache()
+    cached_delinearize(base, cache=cache)
+    warm = cached_delinearize(base, cache=cache)
+    assert cache.stats.hits == 1
+    assert result_tuple(warm) == result_tuple(fresh)

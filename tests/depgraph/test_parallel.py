@@ -1,0 +1,156 @@
+"""The parallel pair evaluator is invisible: jobs=N == jobs=1, byte for byte.
+
+Also covered here: worker cache shipping, persistent warm-up equivalence,
+batch-failure degradation (a crashed worker costs only its batch), and chaos
+determinism under a process pool.
+"""
+
+import pytest
+
+from repro.core.cache import ProblemCache
+from repro.core.chaos import chaos
+from repro.corpus import generate_program
+from repro.depgraph import analyze_dependences, reference_pairs
+from repro.depgraph import parallel as parallel_mod
+from repro.frontend import parse_fortran
+
+FIGURE3 = """
+REAL X(200), Y(200), B(100)
+REAL A(100,100), C(100,100)
+DO 30 i = 1, 100
+X(i) = Y(i) + 10
+DO 20 j = 1, 99
+B(j) = A(j,20)
+DO 10 k = 1, 100
+A(j+1,k) = B(j) + C(j,k)
+10 CONTINUE
+Y(i+j) = A(j+1,20)
+20 CONTINUE
+30 CONTINUE
+"""
+
+EQUIVALENCE = """
+REAL A(0:9, 0:9), B(100), C(200)
+EQUIVALENCE (A, B)
+DO 1 i = 0, 4
+DO 1 j = 0, 9
+B(i + 10*j + 5) = B(i + 10*j) + 1
+1 C(i + 10*j) = C(i + 10*j + 5) + A(i, j)
+"""
+
+
+def fingerprint(graph):
+    """Everything observable about a graph, rendered deterministically."""
+    return (
+        graph.format_table(),
+        [str(e) for e in graph.edges],
+        [str(d) for d in graph.degradations],
+        [str(d) for d in graph.audit_diagnostics],
+    )
+
+
+def build(source, **kwargs):
+    return analyze_dependences(
+        parse_fortran(source), audit=True, cache=ProblemCache(), **kwargs
+    )
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("source", [FIGURE3, EQUIVALENCE], ids=["fig3", "equiv"])
+    def test_jobs2_matches_serial(self, source):
+        assert fingerprint(build(source)) == fingerprint(build(source, jobs=2))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_generated_programs_match(self, seed):
+        source = generate_program("g", 40, 3, seed=seed).source
+        serial = build(source)
+        parallel = build(source, jobs=3)
+        assert fingerprint(serial) == fingerprint(parallel)
+        # More pairs than one batch, so the pool really sharded the work.
+        assert parallel.perf.batches >= 1
+        assert parallel.perf.jobs == 3
+
+    def test_cache_off_matches_cache_on(self):
+        with_cache = build(FIGURE3)
+        without = analyze_dependences(
+            parse_fortran(FIGURE3), audit=True, use_cache=False
+        )
+        assert fingerprint(with_cache) == fingerprint(without)
+
+    def test_warm_cache_matches_cold(self):
+        # audit=False: the auditor needs the Figure-5 trace, which replaying
+        # a cached outcome cannot provide, so audit runs bypass the cache.
+        cache = ProblemCache()
+        program = parse_fortran(FIGURE3)
+        cold = analyze_dependences(program, cache=cache)
+        warm = analyze_dependences(program, cache=cache)
+        assert fingerprint(cold) == fingerprint(warm)
+        assert warm.perf.cache_misses == 0
+        # Every cacheable pair hits the second time — including pairs that
+        # already hit intra-run the first time (shared canonical shapes).
+        assert warm.perf.cache_hits == cold.perf.cache_hits + cold.perf.cache_misses
+
+
+class TestCacheShipping:
+    def test_workers_ship_entries_back(self):
+        cache = ProblemCache()
+        program = parse_fortran(EQUIVALENCE)
+        analyze_dependences(program, cache=cache, jobs=2)
+        assert len(cache) > 0
+        # A follow-up serial run over the same program is fully warm.
+        report = analyze_dependences(program, cache=cache)
+        assert report.perf.cache_misses == 0
+        assert report.perf.cache_hits > 0
+
+    def test_persistent_dir_warms_parallel_runs(self, tmp_path):
+        program = parse_fortran(EQUIVALENCE)
+        first = analyze_dependences(
+            program, cache=ProblemCache(), cache_dir=tmp_path
+        )
+        second = analyze_dependences(
+            program, cache=ProblemCache(), cache_dir=tmp_path, jobs=2
+        )
+        assert fingerprint(first) == fingerprint(second)
+        assert second.perf.cache_misses == 0
+
+
+def _broken_batch(batch_index, lo, hi):
+    raise RuntimeError("simulated worker crash")
+
+
+class TestBatchFailure:
+    def test_failed_batch_degrades_to_assumed_edges(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_batch", _broken_batch)
+        program = parse_fortran(FIGURE3)
+        graph = analyze_dependences(program, audit=True, jobs=2)
+        pairs = reference_pairs(program)
+        assert graph.perf.degraded_pairs == len(pairs)
+        assert graph.edges  # conservative all-* edges, not an empty graph
+        assert any("worker failed" in str(d) for d in graph.degradations)
+        assert all(e.assumed for e in graph.edges)
+
+    def test_strict_reraises_worker_failure(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_batch", _broken_batch)
+        with pytest.raises(RuntimeError, match="simulated worker crash"):
+            analyze_dependences(
+                parse_fortran(FIGURE3), audit=True, jobs=2, strict=True
+            )
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_parallel_degradations(self):
+        outcomes = []
+        for _ in range(2):
+            with chaos(3, rate=0.5):
+                graph = build(EQUIVALENCE, jobs=2)
+            outcomes.append(fingerprint(graph))
+        assert outcomes[0] == outcomes[1]
+
+    def test_chaos_scope_is_batch_not_process(self):
+        # jobs=2 and jobs=4 must inject identical faults: the scope token is
+        # the batch index, never the worker that happened to run it.
+        results = []
+        for jobs in (2, 4):
+            with chaos(3, rate=0.5):
+                results.append(fingerprint(build(EQUIVALENCE, jobs=jobs)))
+        assert results[0] == results[1]

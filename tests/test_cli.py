@@ -387,3 +387,49 @@ class TestRiceps:
         assert main(["riceps", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "BOAST" in out and "29" in out
+
+
+class TestPerfFlags:
+    """--jobs/--no-cache/--cache-dir never change output; --perf is stderr."""
+
+    def test_jobs2_output_is_byte_identical(self, fortran_file, capsys):
+        assert main(["analyze", str(fortran_file)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", str(fortran_file), "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_no_cache_output_is_byte_identical(self, fortran_file, capsys):
+        assert main(["analyze", str(fortran_file)]) == 0
+        cached = capsys.readouterr().out
+        assert main(["analyze", str(fortran_file), "--no-cache"]) == 0
+        assert capsys.readouterr().out == cached
+
+    def test_cache_dir_warm_run_is_byte_identical(
+        self, fortran_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "depcache")
+        assert main(["analyze", str(fortran_file), "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert main(["analyze", str(fortran_file), "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_perf_report_goes_to_stderr(self, fortran_file, capsys):
+        assert main(["analyze", str(fortran_file), "--perf"]) == 0
+        captured = capsys.readouterr()
+        assert "pairs=" in captured.err
+        assert "cache hit/miss" in captured.err
+        assert "pairs=" not in captured.out
+
+    def test_vectorize_perf_flag(self, fortran_file, capsys):
+        assert main(["vectorize", str(fortran_file), "--perf"]) == 0
+        assert "phase timings:" in capsys.readouterr().err
+
+    def test_lint_jobs_output_is_byte_identical(
+        self, fortran_file, c_file, capsys
+    ):
+        files = [str(fortran_file), str(c_file)]
+        assert main(["lint", *files]) == 0
+        serial = capsys.readouterr()
+        assert main(["lint", *files, "--jobs", "2"]) == 0
+        fanned = capsys.readouterr()
+        assert fanned.out == serial.out
