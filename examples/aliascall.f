@@ -1,0 +1,15 @@
+! Parameter association aliasing: both array actuals name A, so inside
+! UPD the formals X and Y are the same storage.  The interprocedural
+! summary translates the callee's accesses back to A — the write X(J)
+! and the read Y(J+1) become a distance-1 anti dependence on A — and
+! the provable alias is reported as AL001.
+      REAL A(0:99)
+      DO 1 I = 0, 98
+      CALL UPD(A, A, I)
+1     CONTINUE
+      END
+      SUBROUTINE UPD(X, Y, J)
+      REAL X(0:99), Y(0:99)
+      INTEGER J
+      X(J) = Y(J+1) * 2
+      END

@@ -1,0 +1,16 @@
+! Control flow inside a loop nest, after the HELIX multiloop2 test shape:
+! guarded accumulator updates in the two IF arms, plus a guarded mutation
+! of a scalar that feeds a subscript (the "particularly mean" rescale).
+! The linter reports the guarded dependence paths (CD001) and flags the
+! control-dependent subscript mutation (CD002).
+      REAL A(0:99), B(0:99)
+      INTEGER K
+      K = 0
+      DO 1 I = 0, 98
+      IF (I < 10) THEN
+      A(I) = A(I+1) + 1
+      ELSE
+      B(K) = B(K) + A(I)
+      K = K + 1
+      ENDIF
+1     CONTINUE

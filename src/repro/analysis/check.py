@@ -21,7 +21,7 @@ in a deterministic order (by span, then code).
 
 from __future__ import annotations
 
-from ..ir import Loop, Program, to_linexpr, to_poly
+from ..ir import If, Loop, Program, to_linexpr, to_poly
 from ..lint import codes
 from ..lint.diagnostics import Diagnostic, sort_diagnostics
 from ..symbolic import Assumptions, Poly
@@ -76,6 +76,10 @@ def _check_loops(
     stmts: list, active: set[str], diagnostics: list[Diagnostic]
 ) -> None:
     for stmt in stmts:
+        if isinstance(stmt, If):
+            _check_loops(stmt.then_body, active, diagnostics)
+            _check_loops(stmt.else_body, active, diagnostics)
+            continue
         if not isinstance(stmt, Loop):
             continue
         if stmt.var in active:

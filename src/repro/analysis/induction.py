@@ -41,7 +41,9 @@ from dataclasses import dataclass
 from ..ir import (
     Assignment,
     BinOp,
+    CallStmt,
     Expr,
+    If,
     IntLit,
     Loop,
     Name,
@@ -136,6 +138,7 @@ def substitute_induction_variables(program: Program) -> Program:
         body=_deep_copy_stmts(program.body),
         name=program.name,
         commons=list(program.commons),
+        subroutines=dict(program.subroutines),
     )
     # Re-recognize on the copy so loop references point into it.
     ivs = find_induction_variables(rewritten)
@@ -195,9 +198,18 @@ def _closed_form(iv: InductionVariable, after_update: bool) -> Expr:
 
 
 def _uses_confined_to_innermost(iv: InductionVariable) -> bool:
-    """Check no use of the variable escapes the innermost loop body."""
+    """Check no use of the variable escapes the innermost loop body.
+
+    Uses under control flow (IF branches, CALL arguments) are never
+    substituted, so any such mention anywhere in the nest disqualifies the
+    variable.
+    """
     for level, loop in enumerate(iv.loops):
         for stmt in loop.body:
+            if isinstance(stmt, (If, CallStmt)) and _stmt_mentions(
+                stmt, iv.name
+            ):
+                return False
             if isinstance(stmt, Loop):
                 continue
             if level == len(iv.loops) - 1:
@@ -207,6 +219,25 @@ def _uses_confined_to_innermost(iv: InductionVariable) -> bool:
             ):
                 return False
     return True
+
+
+def _stmt_mentions(stmt: Stmt, name: str) -> bool:
+    if isinstance(stmt, Assignment):
+        return name in (_expr_names(stmt.lhs) | _expr_names(stmt.rhs))
+    if isinstance(stmt, CallStmt):
+        return any(name in _expr_names(a) for a in stmt.args)
+    if isinstance(stmt, If):
+        if name in _expr_names(stmt.cond):
+            return True
+        return any(
+            _stmt_mentions(s, name)
+            for s in (*stmt.then_body, *stmt.else_body)
+        )
+    if isinstance(stmt, Loop):
+        if name in (_expr_names(stmt.lower) | _expr_names(stmt.upper)):
+            return True
+        return any(_stmt_mentions(s, name) for s in stmt.body)
+    return False
 
 
 def _deep_copy_stmts(stmts: list[Stmt]) -> list[Stmt]:
@@ -225,6 +256,19 @@ def _deep_copy_stmts(stmts: list[Stmt]) -> list[Stmt]:
             )
         elif isinstance(stmt, Assignment):
             out.append(Assignment(stmt.lhs, stmt.rhs, stmt.label, span=stmt.span))
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    stmt.cond,
+                    _deep_copy_stmts(stmt.then_body),
+                    _deep_copy_stmts(stmt.else_body),
+                    span=stmt.span,
+                )
+            )
+        elif isinstance(stmt, CallStmt):
+            out.append(
+                CallStmt(stmt.name, stmt.args, stmt.label, span=stmt.span)
+            )
         else:
             raise TypeError(f"unknown statement {type(stmt).__name__}")
     return out

@@ -173,6 +173,7 @@ def linearize_program(
         body=_rewrite_stmts(program.body, mapping, layouts),
         name=program.name,
         commons=list(program.commons),
+        subroutines=dict(program.subroutines),
     )
     rewritten.number_statements()
     return rewritten
@@ -217,6 +218,7 @@ def partially_linearize(
         body=_rewrite_custom(program.body, array, rewrite),
         name=program.name,
         commons=list(program.commons),
+        subroutines=dict(program.subroutines),
     )
     rewritten.number_statements()
     return rewritten
@@ -297,6 +299,7 @@ def linearize_common(
         body=_rewrite_with(program.body, rewrite_expr),
         name=program.name,
         commons=[cb for cb in program.commons if cb not in selected],
+        subroutines=dict(program.subroutines),
     )
     rewritten.number_statements()
     return rewritten
@@ -358,6 +361,8 @@ def _rewrite_custom(
 
 
 def _rewrite_with(stmts: list[Stmt], rewrite_expr) -> list[Stmt]:
+    from ..ir import CallStmt, If
+
     out: list[Stmt] = []
     for stmt in stmts:
         if isinstance(stmt, Assignment):
@@ -380,18 +385,38 @@ def _rewrite_with(stmts: list[Stmt], rewrite_expr) -> list[Stmt]:
                     span=stmt.span,
                 )
             )
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    rewrite_expr(stmt.cond),
+                    _rewrite_with(stmt.then_body, rewrite_expr),
+                    _rewrite_with(stmt.else_body, rewrite_expr),
+                    span=stmt.span,
+                )
+            )
+        elif isinstance(stmt, CallStmt):
+            out.append(
+                CallStmt(
+                    stmt.name,
+                    tuple(rewrite_expr(a) for a in stmt.args),
+                    stmt.label,
+                    span=stmt.span,
+                )
+            )
         else:
             raise TypeError(f"unknown statement {type(stmt).__name__}")
     return out
 
 
 def _map_children(expr: Expr, rewrite) -> Expr:
-    from ..ir import Call, Deref, UnaryOp
+    from ..ir import Call, Compare, Deref, UnaryOp
 
     if isinstance(expr, BinOp):
         return BinOp(expr.op, rewrite(expr.left), rewrite(expr.right))
     if isinstance(expr, UnaryOp):
         return UnaryOp(expr.op, rewrite(expr.operand))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, rewrite(expr.left), rewrite(expr.right))
     if isinstance(expr, Call):
         return Call(expr.func, tuple(rewrite(a) for a in expr.args))
     if isinstance(expr, ArrayRef):
@@ -429,9 +454,20 @@ def count_linearized_nests(program: Program) -> int:
 
 def _nest_has_linearized(loop: Loop, outer_vars: set[str]) -> bool:
     loop_vars = outer_vars | {loop.var}
-    for stmt in loop.body:
+    return _stmts_have_linearized(loop.body, loop_vars)
+
+
+def _stmts_have_linearized(stmts: list[Stmt], loop_vars: set[str]) -> bool:
+    from ..ir import If
+
+    for stmt in stmts:
         if isinstance(stmt, Loop):
             if _nest_has_linearized(stmt, loop_vars):
+                return True
+        elif isinstance(stmt, If):
+            if _stmts_have_linearized(
+                stmt.then_body, loop_vars
+            ) or _stmts_have_linearized(stmt.else_body, loop_vars):
                 return True
         elif isinstance(stmt, Assignment):
             for ref, _ in stmt.refs():

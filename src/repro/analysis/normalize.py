@@ -20,7 +20,9 @@ from __future__ import annotations
 from ..ir import (
     Assignment,
     BinOp,
+    CallStmt,
     Expr,
+    If,
     IntLit,
     Loop,
     Program,
@@ -44,6 +46,7 @@ def normalize_program(program: Program) -> Program:
         body=_normalize_stmts(program.body),
         name=program.name,
         commons=list(program.commons),
+        subroutines=dict(program.subroutines),
     )
     normalized.number_statements()
     return normalized
@@ -56,6 +59,19 @@ def _normalize_stmts(stmts: list[Stmt]) -> list[Stmt]:
             out.append(_normalize_loop(stmt))
         elif isinstance(stmt, Assignment):
             out.append(Assignment(stmt.lhs, stmt.rhs, stmt.label, span=stmt.span))
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    stmt.cond,
+                    _normalize_stmts(stmt.then_body),
+                    _normalize_stmts(stmt.else_body),
+                    span=stmt.span,
+                )
+            )
+        elif isinstance(stmt, CallStmt):
+            out.append(
+                CallStmt(stmt.name, stmt.args, stmt.label, span=stmt.span)
+            )
         else:
             raise TypeError(f"unknown statement {type(stmt).__name__}")
     return out
@@ -116,6 +132,23 @@ def _substitute_stmt(stmt: Stmt, name: str, replacement: Expr) -> Stmt:
             stmt.step,
             span=stmt.span,
         )
+    if isinstance(stmt, If):
+        return If(
+            substitute_name(stmt.cond, name, replacement),
+            [_substitute_stmt(s, name, replacement) for s in stmt.then_body],
+            [_substitute_stmt(s, name, replacement) for s in stmt.else_body],
+            span=stmt.span,
+        )
+    if isinstance(stmt, CallStmt):
+        return CallStmt(
+            stmt.name,
+            tuple(
+                simplify_deep(substitute_name(a, name, replacement))
+                for a in stmt.args
+            ),
+            stmt.label,
+            span=stmt.span,
+        )
     raise TypeError(f"unknown statement {type(stmt).__name__}")
 
 
@@ -145,6 +178,10 @@ def _collect_bounds(
     bounds: dict[str, Poly],
 ) -> None:
     for stmt in stmts:
+        if isinstance(stmt, If):
+            _collect_bounds(stmt.then_body, outer, bounds)
+            _collect_bounds(stmt.else_body, outer, bounds)
+            continue
         if not isinstance(stmt, Loop):
             continue
         upper = _maximize(stmt.upper, outer, stmt.var)

@@ -32,8 +32,10 @@ from ..ir import (
     ArrayRef,
     Assignment,
     BinOp,
+    CallStmt,
     Deref,
     Expr,
+    If,
     IntLit,
     Loop,
     Name,
@@ -57,6 +59,7 @@ def convert_pointers(program: Program, info: CParseInfo) -> Program:
         body=converter.convert_stmts(program.body, {}),
         name=program.name,
         commons=list(program.commons),
+        subroutines=dict(program.subroutines),
     )
     rewritten.number_statements()
     return rewritten
@@ -79,6 +82,27 @@ class _Converter:
                     Assignment(
                         self.convert_expr(stmt.lhs, pointer_bases),
                         self.convert_expr(stmt.rhs, pointer_bases),
+                        stmt.label,
+                        span=stmt.span,
+                    )
+                )
+            elif isinstance(stmt, If):
+                out.append(
+                    If(
+                        self.convert_expr(stmt.cond, pointer_bases),
+                        self.convert_stmts(stmt.then_body, pointer_bases),
+                        self.convert_stmts(stmt.else_body, pointer_bases),
+                        span=stmt.span,
+                    )
+                )
+            elif isinstance(stmt, CallStmt):
+                out.append(
+                    CallStmt(
+                        stmt.name,
+                        tuple(
+                            self.convert_expr(a, pointer_bases)
+                            for a in stmt.args
+                        ),
                         stmt.label,
                         span=stmt.span,
                     )
@@ -155,7 +179,14 @@ class _Converter:
             return ArrayRef(base, (index,))
         if isinstance(expr, (Name, IntLit)):
             return expr
-        from ..ir import Call, UnaryOp
+        from ..ir import Call, Compare, UnaryOp
+
+        if isinstance(expr, Compare):
+            return Compare(
+                expr.op,
+                self.convert_expr(expr.left, pointer_bases),
+                self.convert_expr(expr.right, pointer_bases),
+            )
 
         if isinstance(expr, BinOp):
             return BinOp(

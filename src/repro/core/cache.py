@@ -183,6 +183,9 @@ _SCHEMA_MODULES = (
     "repro.core.delinearize",
     "repro.core.groups",
     "repro.core.theorem",
+    "repro.analysis.interproc",
+    "repro.lint.dataflow",
+    "repro.depgraph.builder",
     "repro.deptests.problem",
     "repro.deptests.banerjee",
     "repro.deptests.exhaustive",

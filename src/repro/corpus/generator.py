@@ -10,7 +10,11 @@ contain linearized references, in the styles the paper catalogues:
 * ``equivalence``— two differently-shaped EQUIVALENCE'd arrays, which only
   become linearized references after alias linearization;
 * ``common``     — a 2-D array in a COMMON block, whose references become
-  linearized once the block's storage association is applied.
+  linearized once the block's storage association is applied;
+* ``conditional``— a hand-linearized reference guarded by a structured
+  IF/ELSE block (the census must look through control flow);
+* ``call``       — a hand-linearized nest whose body also CALLs a generated
+  subroutine (exercises parameter association through the pipeline).
 
 Everything else in a generated program (plain nests, scalar filler) is
 guaranteed non-linearized, so the detector pipeline must recover exactly the
@@ -26,7 +30,15 @@ from dataclasses import dataclass, field
 
 from .riceps import RicepsProfile
 
-STYLES = ("hand", "runtime", "induction", "equivalence", "common")
+STYLES = (
+    "hand",
+    "runtime",
+    "induction",
+    "equivalence",
+    "common",
+    "conditional",
+    "call",
+)
 
 
 @dataclass
@@ -85,6 +97,7 @@ class _Builder:
         self.decls: list[str] = []
         self.pre_body: list[str] = []
         self.body: list[str] = []
+        self.subprograms: list[str] = []
         self.counter = 0
 
     def line_estimate(self) -> int:
@@ -107,6 +120,10 @@ class _Builder:
             self._equivalence_nest()
         elif style == "common":
             self._common_nest()
+        elif style == "conditional":
+            self._conditional_nest()
+        elif style == "call":
+            self._call_nest()
         else:
             raise ValueError(f"unknown style {style!r}")
 
@@ -182,6 +199,57 @@ class _Builder:
             ]
         )
 
+    def _conditional_nest(self) -> None:
+        array = self.fresh("CF")
+        stride = self.rng.choice((8, 10, 16))
+        inner = self.rng.randrange(1, stride)
+        outer = self.rng.randrange(4, 10)
+        size = stride * (outer + 1)
+        self.decls.append(f"REAL {array}(0:{size - 1})")
+        label = f"7{self.counter}"
+        self.body.extend(
+            [
+                f"DO {label} i = 0, {inner - 1}",
+                f"DO {label} j = 0, {outer - 1}",
+                "IF (i > j) THEN",
+                f"{array}(i+{stride}*j) = {array}(i+{stride}*j) + 1",
+                "ELSE",
+                f"{array}(i+{stride}*j) = 0",
+                "ENDIF",
+                f"{label} CONTINUE",
+            ]
+        )
+
+    def _call_nest(self) -> None:
+        array = self.fresh("CS")
+        work = self.fresh("W")
+        sub = self.fresh("SK")
+        stride = self.rng.choice((8, 10, 16))
+        inner = self.rng.randrange(1, stride)
+        outer = self.rng.randrange(4, 10)
+        size = stride * (outer + 1)
+        self.decls.append(f"REAL {array}(0:{size - 1})")
+        self.decls.append(f"REAL {work}(0:{outer})")
+        label = f"8{self.counter}"
+        self.body.extend(
+            [
+                f"DO {label} i = 0, {inner - 1}",
+                f"DO {label} j = 0, {outer - 1}",
+                f"{array}(i+{stride}*j) = {array}(i+{stride}*j) * 2",
+                f"CALL {sub}({work}, j)",
+                f"{label} CONTINUE",
+            ]
+        )
+        self.subprograms.extend(
+            [
+                f"SUBROUTINE {sub}(X, J)",
+                f"REAL X(0:{outer})",
+                "INTEGER J",
+                "X(J) = X(J) + 1",
+                "END",
+            ]
+        )
+
     def add_plain_nest(self, index: int) -> None:
         array = self.fresh("P")
         size = self.rng.randrange(20, 200)
@@ -210,4 +278,7 @@ class _Builder:
             self.body.append(f"{scalar} = {self.rng.randrange(1, 99)}")
 
     def render(self) -> str:
-        return "\n".join(self.decls + self.pre_body + self.body) + "\n"
+        lines = self.decls + self.pre_body + self.body
+        if self.subprograms:
+            lines = lines + ["END"] + self.subprograms
+        return "\n".join(lines) + "\n"

@@ -8,6 +8,7 @@ from .builder import (
     PairOutcome,
     analyze_dependences,
     conservative_graph,
+    control_diagnostics,
     dependences_for_arrays,
     evaluate_pair,
     reference_pairs,
@@ -21,6 +22,7 @@ __all__ = [
     "PairOutcome",
     "analyze_dependences",
     "conservative_graph",
+    "control_diagnostics",
     "dependences_for_arrays",
     "evaluate_pair",
     "reference_pairs",

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..analysis.interproc import ensure_calls_resolved
 from ..analysis.normalize import normalize_program, rectangular_bounds
 from ..analysis.refpairs import build_pair_problem
 from ..core.cache import ProblemCache, cached_delinearize, default_cache
@@ -42,7 +43,7 @@ from ..dirvec.vectors import (
     DistanceVec,
     summarize,
 )
-from ..ir import Program, RefContext, collect_refs
+from ..ir import Program, RefContext, collect_refs, mutually_exclusive
 from ..lint.audit import audit_result
 from ..lint.diagnostics import Diagnostic, sort_diagnostics
 from ..lint.ranges import derive_assumptions, nonempty_loop_assumptions
@@ -60,6 +61,16 @@ class Dependence:
     distance: DistanceVec | None = None
     assumed: bool = False  # True when analysis gave up (conservative edge)
 
+    @property
+    def guarded(self) -> bool:
+        """True when either endpoint executes only on specific IF branches.
+
+        Derived from the endpoints' guard chains (program structure), not
+        stored on the edge: :class:`EdgeSpec` stays unchanged and parallel
+        builds remain byte-identical to serial ones.
+        """
+        return self.source.guarded or self.sink.guarded
+
     def pair_label(self) -> str:
         return (
             f"{self.source.stmt.label}:{self.source.ref.array} -> "
@@ -69,8 +80,10 @@ class Dependence:
     def __str__(self) -> str:
         distance = f" distance {self.distance}" if self.distance else ""
         flag = " (assumed)" if self.assumed else ""
+        guard = " (guarded)" if self.guarded else ""
         return (
-            f"{self.pair_label()} {self.kind} {self.direction}{distance}{flag}"
+            f"{self.pair_label()} {self.kind} {self.direction}"
+            f"{distance}{flag}{guard}"
         )
 
 
@@ -124,6 +137,10 @@ class DependenceGraph:
     #: the conservative assumed answer on budget exhaustion (RS002) or an
     #: internal dependence-test error (RS001).  Empty on a clean build.
     degradations: list[Diagnostic] = field(default_factory=list)
+    #: Interprocedural findings (``AL``/``RS`` codes) produced while
+    #: resolving CALL sites into caller-scope references.  Empty when the
+    #: program has no CALLs or every call translated exactly and alias-free.
+    alias_diagnostics: list[Diagnostic] = field(default_factory=list)
     #: How the build went (pair counts, cache hits, wall time); reporting
     #: only — never part of rendered output compared across configurations.
     perf: GraphPerf | None = None
@@ -152,8 +169,9 @@ class DependenceGraph:
         lines = ["Pair of references | kind | direction | distance-direction"]
         for edge in self.edges:
             distance = str(edge.distance) if edge.distance else "-"
+            kind = f"{edge.kind} (guarded)" if edge.guarded else edge.kind
             lines.append(
-                f"{edge.pair_label()} | {edge.kind} | {edge.direction} | {distance}"
+                f"{edge.pair_label()} | {kind} | {edge.direction} | {distance}"
             )
         return "\n".join(lines)
 
@@ -184,6 +202,8 @@ class DependenceGraph:
                 annotation += f" {edge.distance}"
             if edge.assumed:
                 annotation += " (assumed)"
+            if edge.guarded:
+                annotation += " (guarded)"
             lines.append(
                 f"  {edge.source.stmt.label} -> {edge.sink.stmt.label} "
                 f'[style={style}, label="{annotation}"];'
@@ -309,6 +329,7 @@ def analyze_dependences(
     started = time.perf_counter()
     assumptions = assumptions or Assumptions.empty()
     analyzed = program if normalized else normalize_program(program)
+    alias_diagnostics = ensure_calls_resolved(analyzed)
     if derive_bounds:
         assumptions = derive_assumptions(analyzed, assumptions)
     bounds = rectangular_bounds(analyzed)
@@ -380,6 +401,7 @@ def analyze_dependences(
     if problem_cache is not None and cache_dir is not None:
         problem_cache.save_disk(cache_dir)
     graph.degradations = sort_diagnostics(degradations)
+    graph.alias_diagnostics = alias_diagnostics
     if audit:
         graph.audit_diagnostics = sort_diagnostics(graph.audit_diagnostics)
     perf.wall_seconds = time.perf_counter() - started
@@ -523,6 +545,13 @@ def _pair_specs(
         # all-'=' identity is the same statement instance: not a dependence.
         backward = set()
         identity = False
+    if identity and mutually_exclusive(first.guards, second.guards):
+        # Opposite arms of one IF: the condition is evaluated once per
+        # reaching of the IF, so the two references never co-execute within
+        # a single iteration.  Only the same-iteration (all-'=') component
+        # is refuted — cross-iteration dependences between the arms remain
+        # (the condition may flip between iterations).
+        identity = False
     if identity and first.stmt.label != second.stmt.label:
         # Same-statement identity pairs (a statement reading what it writes
         # in the same instance) are guaranteed read-before-write by any
@@ -613,6 +642,33 @@ def _assumed_specs(
     return specs
 
 
+def control_diagnostics(graph: DependenceGraph) -> list[Diagnostic]:
+    """``CD001``: one note per guarded dependence edge of a graph.
+
+    A guarded edge is real only on executions where its endpoints' IF arms
+    are taken; schedulers must honor it (soundness), but a human reading the
+    table should know the dependence is path-qualified, not unconditional.
+    """
+    from ..lint import codes
+
+    diagnostics = []
+    for edge in graph.edges:
+        if not edge.guarded:
+            continue
+        guards = [str(g) for g in (*edge.source.guards, *edge.sink.guards)]
+        diagnostics.append(
+            Diagnostic.make(
+                codes.CD001,
+                f"dependence {edge.pair_label()} ({edge.kind} "
+                f"{edge.direction}) holds only under "
+                f"{' and '.join(dict.fromkeys(guards))}",
+                statement=edge.source.stmt.label,
+                span=edge.source.stmt.span,
+            )
+        )
+    return sort_diagnostics(diagnostics)
+
+
 def dependences_for_arrays(
     graph: DependenceGraph, arrays: Iterable[str]
 ) -> list[Dependence]:
@@ -633,6 +689,7 @@ def conservative_graph(
     vectorizer into a fully serial schedule).
     """
     graph = DependenceGraph(program)
+    graph.alias_diagnostics = ensure_calls_resolved(program)
     for first, second in reference_pairs(program, include_input):
         common = sum(
             1 for a, b in zip(first.loops, second.loops) if a is b

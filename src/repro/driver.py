@@ -37,7 +37,7 @@ from .depgraph import (
     conservative_graph,
 )
 from .frontend import parse_c, parse_fortran
-from .ir import Program, format_program
+from .ir import CallStmt, Program, format_program
 from .lint import codes
 from .lint.diagnostics import Diagnostic, sort_diagnostics
 from .symbolic import Assumptions
@@ -140,6 +140,19 @@ class CompilationReport:
         return self.graph.audit_diagnostics
 
     @property
+    def alias_diagnostics(self) -> list[Diagnostic]:
+        """Interprocedural findings (``AL``/``RS`` codes) from resolving
+        CALL sites; empty for call-free programs and exact translations."""
+        return self.graph.alias_diagnostics
+
+    @property
+    def control_diagnostics(self) -> list[Diagnostic]:
+        """``CD001`` notes for dependences that hold only on guarded paths."""
+        from .depgraph import control_diagnostics
+
+        return control_diagnostics(self.graph)
+
+    @property
     def vectorized_statements(self) -> list[str]:
         return self.plan.vectorized_statements()
 
@@ -169,6 +182,14 @@ class CompilationReport:
                 )
             else:
                 lines.append("schedule verification: clean")
+        guarded = sum(1 for edge in self.graph.edges if edge.guarded)
+        if guarded:
+            lines.append(f"guarded dependences: {guarded}")
+        if self.alias_diagnostics:
+            lines.append(
+                f"interprocedural findings: {len(self.alias_diagnostics)} "
+                "(see report.alias_diagnostics)"
+            )
         if self.degradations:
             lines.append(
                 f"degradations: {len(self.degradations)} "
@@ -361,6 +382,11 @@ def _back_half(
             lambda: conservative_graph(program),
         )
     phases.append("dependence-analysis")
+    if any(
+        isinstance(stmt, CallStmt)
+        for stmt, _loops in graph.program.walk_statements()
+    ):
+        phases.append("interproc")
     if audit and not barrier.failed("dependence-analysis"):
         phases.append("soundness-audit")
 

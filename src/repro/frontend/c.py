@@ -10,6 +10,9 @@ Supported constructs::
     for (i = 0; i < 5; i++) body;
     *i = *(i + 5);
     d[j][i] = d[j][i + 5];
+    if (i < n) { ... } else { ... }
+    void upd(float x[], float y[], int k) { ... }
+    upd(a, b, i);
 
 The parser produces the shared loop-nest IR.  Pointer dereferences become
 :class:`~repro.ir.Deref` nodes and pointer-controlled ``for`` loops keep their
@@ -34,14 +37,18 @@ from ..ir import (
     Assignment,
     BinOp,
     Call,
+    CallStmt,
+    Compare,
     Deref,
     Expr,
+    If,
     IntLit,
     Loop,
     Name,
     Program,
     Span,
     Stmt,
+    Subroutine,
     UnaryOp,
 )
 from .errors import ParseError, ParseErrorGroup
@@ -105,11 +112,16 @@ def parse_c(
     return program, info
 
 
+_RELATIONAL_OPS = ("<=", ">=", "==", "!=", "<", ">")
+
+
 class _CParser:
     def __init__(self, tokens: list[Token], name: str):
         self.ts = TokenStream(tokens)
         self.program = Program(name=name)
         self.info = CParseInfo()
+        # The function currently being parsed, None at file scope.
+        self.unit: Subroutine | None = None
 
     def parse_program(self) -> tuple[Program, CParseInfo]:
         while not self.ts.at_eof():
@@ -140,11 +152,16 @@ class _CParser:
     # -- statements ------------------------------------------------------------
 
     def parse_statement(self) -> list[Stmt]:
+        if self._at_function_def():
+            self.parse_function()
+            return []
         if self._at_type():
             self.parse_declaration()
             return []
         if self.ts.at_keyword("for"):
             return [self.parse_for()]
+        if self.ts.at_keyword("if"):
+            return [self.parse_if()]
         opening = self.ts.peek()
         if self.ts.accept(OP, "{"):
             block: list[Stmt] = []
@@ -163,6 +180,21 @@ class _CParser:
     def _at_type(self) -> bool:
         return self.ts.at(IDENT) and self.ts.peek().text in _C_TYPES
 
+    def _at_function_def(self) -> bool:
+        """``type name (`` — a function definition header (not a decl)."""
+        if not self.ts.at(IDENT):
+            return False
+        word = self.ts.peek().text
+        if word != "void" and word not in _C_TYPES:
+            return False
+        after = self.ts.peek(1)
+        paren = self.ts.peek(2)
+        return (
+            after.kind == IDENT
+            and paren.kind == OP
+            and paren.text == "("
+        )
+
     def parse_declaration(self) -> None:
         type_token = self.ts.next()
         elem_type = type_token.text
@@ -177,14 +209,112 @@ class _CParser:
                     size = self.parse_expr()
                     self.ts.expect(OP, "]")
                     dims.append(ArrayDim(IntLit(0), _sub_one(size)))
-                self.program.declare(
-                    ArrayDecl(name_token.text, tuple(dims), elem_type)
+                self._declare(
+                    ArrayDecl(name_token.text, tuple(dims), elem_type),
+                    name_token,
                 )
             else:
                 self.info.scalars.add(name_token.text)
             if not self.ts.accept(OP, ","):
                 break
         self.ts.expect(OP, ";")
+
+    def _declare(self, decl: ArrayDecl, token: Token) -> None:
+        decls = self.unit.decls if self.unit is not None else self.program.decls
+        if decl.name in decls:
+            raise ParseError(
+                f"array {decl.name} declared twice", token.line, token.column
+            )
+        decls[decl.name] = decl
+
+    # -- functions and calls ---------------------------------------------------
+
+    def parse_function(self) -> None:
+        type_token = self.ts.next()  # return type (effects-only: void etc.)
+        if self.unit is not None:
+            raise ParseError(
+                "nested function definitions are not supported",
+                type_token.line,
+                type_token.column,
+            )
+        name_token = self.ts.expect(IDENT)
+        self.ts.expect(OP, "(")
+        unit = Subroutine(name_token.text, (), span=Span.at(type_token))
+        params: list[str] = []
+        if not self.ts.at(OP, ")"):
+            while True:
+                params.append(self.parse_parameter(unit))
+                if not self.ts.accept(OP, ","):
+                    break
+        self.ts.expect(OP, ")")
+        unit.params = tuple(params)
+        if name_token.text in self.program.subroutines:
+            raise ParseError(
+                f"function {name_token.text} defined twice",
+                name_token.line,
+                name_token.column,
+            )
+        self.program.subroutines[name_token.text] = unit
+        self.unit = unit
+        try:
+            opening = self.ts.peek()
+            if not self.ts.at(OP, "{"):
+                raise ParseError(
+                    "expected function body", opening.line, opening.column
+                )
+            unit.body.extend(self.parse_statement())
+        finally:
+            self.unit = None
+
+    def parse_parameter(self, unit: Subroutine) -> str:
+        type_token = self.ts.expect(IDENT)
+        if type_token.text != "void" and type_token.text not in _C_TYPES:
+            raise ParseError(
+                f"expected a parameter type, found {type_token.text!r}",
+                type_token.line,
+                type_token.column,
+            )
+        is_pointer = bool(self.ts.accept(OP, "*"))
+        name_token = self.ts.expect(IDENT)
+        if self.ts.at(OP, "[") or is_pointer:
+            dims: list[ArrayDim] = []
+            while self.ts.accept(OP, "["):
+                if not self.ts.at(OP, "]"):
+                    size = self.parse_expr()
+                    dims.append(ArrayDim(IntLit(0), _sub_one(size)))
+                self.ts.expect(OP, "]")
+            unit.decls[name_token.text] = ArrayDecl(
+                name_token.text, tuple(dims), type_token.text
+            )
+        else:
+            self.info.scalars.add(name_token.text)
+        return name_token.text
+
+    # -- structured if ---------------------------------------------------------
+
+    def parse_if(self) -> If:
+        keyword = self.ts.next()  # if
+        self.ts.expect(OP, "(")
+        cond = self.parse_condition()
+        self.ts.expect(OP, ")")
+        then_body = self.parse_statement()
+        else_body: list[Stmt] = []
+        if self.ts.at_keyword("else"):
+            self.ts.next()
+            else_body = self.parse_statement()
+        return If(cond, then_body, else_body, span=Span.at(keyword))
+
+    def parse_condition(self) -> Expr:
+        left = self.parse_expr()
+        token = self.ts.peek()
+        for text in _RELATIONAL_OPS:
+            if self.ts.accept(OP, text):
+                return Compare(text, left, self.parse_expr())
+        raise ParseError(
+            f"expected a relational operator, found {token.text!r}",
+            token.line,
+            token.column,
+        )
 
     def parse_for(self) -> Loop:
         keyword = self.ts.next()  # for
@@ -233,9 +363,13 @@ class _CParser:
         body = self.parse_statement()
         return Loop(init_var, lower, upper, body, step, span=Span.at(keyword))
 
-    def parse_assignment(self) -> Assignment:
+    def parse_assignment(self) -> Stmt:
         start = self.ts.peek()
         lhs = self.parse_unary()
+        if isinstance(lhs, Call) and self.ts.at(OP, ";"):
+            # Expression statement: a call for its effects, e.g. upd(a, b);
+            self.ts.expect(OP, ";")
+            return CallStmt(lhs.func, lhs.args, span=Span.at(start))
         if not isinstance(lhs, (ArrayRef, Name, Deref)):
             raise ParseError(
                 f"cannot assign to {lhs}", start.line, start.column

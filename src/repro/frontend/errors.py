@@ -5,11 +5,14 @@ from __future__ import annotations
 from ..ir.span import Span
 
 
-class ParseError(Exception):
+class ParseError(ValueError):
     """A syntax error carrying a source :class:`~repro.ir.Span`.
 
-    ``line``/``column`` remain available as plain attributes for callers
-    that predate spans; they are kept in lockstep with ``span``.
+    Subclasses :class:`ValueError` so callers that treat malformed source
+    as an invalid input value (the pre-span behavior of IR validation)
+    keep working.  ``line``/``column`` remain available as plain
+    attributes for callers that predate spans; they are kept in lockstep
+    with ``span``.
     """
 
     def __init__(

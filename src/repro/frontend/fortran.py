@@ -10,12 +10,22 @@ Supported constructs::
     10 CONTINUE
     ENDDO
     A(I, J) = B(I, 2*J+1) + Q
+    IF (I < N) THEN         ! structured IF blocks (nesting allowed)
+    ELSE
+    ENDIF
+    IF (I == 0) A(I) = 0    ! one-line logical IF
+    CALL UPD(A, B, I)       ! subroutine invocation
+    SUBROUTINE UPD(X, Y, K) ! subroutine definitions after the main unit
+    END
 
 Keywords are case-insensitive; identifiers are kept as written.  Dimensions
 follow FORTRAN rules: ``(N)`` means ``1:N``, ``(0:9)`` is explicit.  A
 subscripted name is an array reference when the name is declared (explicitly,
 or implicitly by appearing subscripted on a left-hand side); otherwise it is
 an opaque function call, exactly the paper's ``IFUN(10)`` situation.
+
+IF conditions use the F90-style relational operators ``< <= > >= == /=``
+(the lexer has no ``.`` token, so the F77 dotted forms are not accepted).
 """
 
 from __future__ import annotations
@@ -27,14 +37,18 @@ from ..ir import (
     Assignment,
     BinOp,
     Call,
+    CallStmt,
+    Compare,
     Equivalence,
     Expr,
+    If,
     IntLit,
     Loop,
     Name,
     Program,
     Span,
     Stmt,
+    Subroutine,
     UnaryOp,
 )
 from .errors import ParseError, ParseErrorGroup
@@ -79,8 +93,12 @@ class _FortranParser:
         self.ts = TokenStream(tokens)
         self.program = Program(name=name)
         self.implicit_arrays = _scan_lhs_arrays(tokens)
-        # Stack of open loops: (loop, terminating label or None for ENDDO).
-        self.loop_stack: list[tuple[Loop, str | None]] = []
+        # Stack of open blocks, innermost last:
+        #   ("loop", Loop, terminating label or None for ENDDO)
+        #   ("if", If, in_else: bool)
+        self.block_stack: list[tuple] = []
+        # The subroutine currently being parsed, None in the main unit.
+        self.unit: Subroutine | None = None
 
     # -- program structure ---------------------------------------------------
 
@@ -89,7 +107,7 @@ class _FortranParser:
         while not self.ts.at_eof():
             self.parse_line()
             self.ts.skip_newlines()
-        error = self._unclosed_loop_error()
+        error = self._unclosed_block_error()
         if error is not None:
             raise error
         return self.program
@@ -98,8 +116,10 @@ class _FortranParser:
         """Parse with statement-boundary error recovery.
 
         Each failed line appends its :class:`ParseError` to ``errors`` and
-        parsing resumes at the next newline; progress is forced so a stuck
-        token can never loop forever.
+        parsing resumes at the next statement boundary (newline); progress
+        is forced so a stuck token can never loop forever.  Block structure
+        (DO/IF/SUBROUTINE) is re-synchronized at the block boundary that
+        failed, so one malformed header cannot cascade.
         """
         self.ts.skip_newlines()
         while not self.ts.at_eof():
@@ -110,10 +130,11 @@ class _FortranParser:
                 errors.append(error)
                 self._synchronize(mark)
             self.ts.skip_newlines()
-        error = self._unclosed_loop_error()
+        error = self._unclosed_block_error()
         if error is not None:
             errors.append(error)
-            self.loop_stack.clear()
+            self.block_stack.clear()
+            self.unit = None
         return self.program
 
     def _synchronize(self, mark: int) -> None:
@@ -123,19 +144,36 @@ class _FortranParser:
         while not self.ts.at(NEWLINE) and not self.ts.at_eof():
             self.ts.next()
 
-    def _unclosed_loop_error(self) -> ParseError | None:
-        if not self.loop_stack:
-            return None
-        loop, label = self.loop_stack[-1]
-        terminator = f"label {label}" if label else "ENDDO"
-        where = loop.span or Span(0, 0)
-        return ParseError(
-            f"DO {loop.var} never closed (missing {terminator})",
-            where.line,
-            where.column,
-        )
+    def _unclosed_block_error(self) -> ParseError | None:
+        if self.block_stack:
+            entry = self.block_stack[-1]
+            if entry[0] == "loop":
+                _, loop, label = entry
+                terminator = f"label {label}" if label else "ENDDO"
+                where = loop.span or Span(0, 0)
+                return ParseError(
+                    f"DO {loop.var} never closed (missing {terminator})",
+                    where.line,
+                    where.column,
+                )
+            _, node, _ = entry
+            where = node.span or Span(0, 0)
+            return ParseError(
+                "IF never closed (missing ENDIF)", where.line, where.column
+            )
+        if self.unit is not None:
+            where = self.unit.span or Span(0, 0)
+            return ParseError(
+                f"SUBROUTINE {self.unit.name} never closed (missing END)",
+                where.line,
+                where.column,
+            )
+        return None
 
     def parse_line(self) -> None:
+        if self.ts.at_keyword("SUBROUTINE"):
+            self.parse_subroutine()
+            return
         if self._at_type_keyword():
             self.parse_declaration()
             return
@@ -153,10 +191,26 @@ class _FortranParser:
         if self.ts.at_keyword("DO") and not self._is_assignment_to("DO"):
             self.parse_do()
             return
+        if self.ts.at_keyword("IF") and not self._is_assignment_to("IF"):
+            self.parse_if(label, label_token)
+            return
+        if self.ts.at_keyword("ELSE"):
+            token = self.ts.next()
+            self.ts.expect_end_of_line()
+            self.handle_else(token)
+            return
+        if self.ts.at_keyword("ENDIF"):
+            token = self.ts.next()
+            self.ts.expect_end_of_line()
+            self.close_endif(token)
+            return
         if self.ts.at_keyword("ENDDO"):
             token = self.ts.next()
             self.ts.expect_end_of_line()
             self.close_enddo(token)
+            return
+        if self.ts.at_keyword("CALL"):
+            self.parse_call(label, label_token)
             return
         if self.ts.at_keyword("CONTINUE"):
             token = self.ts.next()
@@ -167,11 +221,30 @@ class _FortranParser:
                 )
             self.close_label(label, label_token)
             return
-        if self.ts.at_keyword("END") and self.ts.peek(1).kind in (NEWLINE, EOF):
-            self.ts.next()
+        if self.ts.at_keyword("END") and self._at_end_keyword_tail():
+            token = self.ts.next()
+            # "END IF" is an ENDIF spelling, not a unit terminator.
+            if self.ts.at(IDENT) and self.ts.peek().text.upper() == "IF":
+                self.ts.next()
+                self.ts.expect_end_of_line()
+                self.close_endif(token)
+                return
+            if self.ts.at(IDENT) and self.ts.peek().text.upper() == "DO":
+                self.ts.next()
+                self.ts.expect_end_of_line()
+                self.close_enddo(token)
+                return
             self.ts.expect_end_of_line()
+            self.close_unit(token)
             return
         self.parse_assignment(label)
+
+    def _at_end_keyword_tail(self) -> bool:
+        """END, END IF or END DO — but not an assignment like ``END = 1``."""
+        after = self.ts.peek(1)
+        if after.kind in (NEWLINE, EOF):
+            return True
+        return after.kind == IDENT and after.text.upper() in ("IF", "DO")
 
     def _at_type_keyword(self) -> bool:
         if not self.ts.at(IDENT):
@@ -209,13 +282,23 @@ class _FortranParser:
                 while self.ts.accept(OP, ","):
                     dims.append(self.parse_dim())
                 self.ts.expect(OP, ")")
-                self.program.declare(
-                    ArrayDecl(name_token.text, tuple(dims), elem_type)
+                self._declare(
+                    ArrayDecl(name_token.text, tuple(dims), elem_type),
+                    name_token,
                 )
             # Scalar declarations are accepted and ignored (no decl needed).
             if not self.ts.accept(OP, ","):
                 break
         self.ts.expect_end_of_line()
+
+    def _declare(self, decl: ArrayDecl, token: Token) -> None:
+        """Declare into the current unit (main program or subroutine)."""
+        decls = self.unit.decls if self.unit is not None else self.program.decls
+        if decl.name in decls:
+            raise ParseError(
+                f"array {decl.name} declared twice", token.line, token.column
+            )
+        decls[decl.name] = decl
 
     def parse_dim(self) -> ArrayDim:
         first = self.parse_expr()
@@ -271,20 +354,28 @@ class _FortranParser:
         self.ts.expect_end_of_line()
         loop = Loop(var, lower, upper, [], step, span=Span.at(keyword))
         self.append_stmt(loop)
-        self.loop_stack.append((loop, label))
+        self.block_stack.append(("loop", loop, label))
 
     def close_enddo(self, token: Token) -> None:
-        if not self.loop_stack or self.loop_stack[-1][1] is not None:
+        if (
+            not self.block_stack
+            or self.block_stack[-1][0] != "loop"
+            or self.block_stack[-1][2] is not None
+        ):
             raise ParseError(
                 "ENDDO without matching DO", token.line, token.column
             )
-        self.loop_stack.pop()
+        self.block_stack.pop()
 
     def close_label(self, label: str, token: Token | None = None) -> None:
         """Close every open loop terminated by ``label`` (shared labels)."""
         closed = False
-        while self.loop_stack and self.loop_stack[-1][1] == label:
-            self.loop_stack.pop()
+        while (
+            self.block_stack
+            and self.block_stack[-1][0] == "loop"
+            and self.block_stack[-1][2] == label
+        ):
+            self.block_stack.pop()
             closed = True
         if not closed:
             raise ParseError(
@@ -294,10 +385,150 @@ class _FortranParser:
             )
 
     def append_stmt(self, stmt: Stmt) -> None:
-        if self.loop_stack:
-            self.loop_stack[-1][0].body.append(stmt)
+        if self.block_stack:
+            entry = self.block_stack[-1]
+            if entry[0] == "loop":
+                entry[1].body.append(stmt)
+            else:
+                _, node, in_else = entry
+                (node.else_body if in_else else node.then_body).append(stmt)
+        elif self.unit is not None:
+            self.unit.body.append(stmt)
         else:
             self.program.body.append(stmt)
+
+    # -- structured IF ---------------------------------------------------------
+
+    def parse_if(self, label: str | None, label_token: Token | None) -> None:
+        keyword = self.ts.next()  # IF
+        self.ts.expect(OP, "(")
+        cond = self.parse_condition()
+        self.ts.expect(OP, ")")
+        if self.ts.at(IDENT) and self.ts.peek().text.upper() == "THEN":
+            self.ts.next()
+            self.ts.expect_end_of_line()
+            if label is not None:
+                raise ParseError(
+                    "a block IF cannot carry a DO-terminating label",
+                    keyword.line,
+                    keyword.column,
+                )
+            node = If(cond, span=Span.at(keyword))
+            self.append_stmt(node)
+            self.block_stack.append(("if", node, False))
+            return
+        # One-line logical IF: the guarded statement follows on this line.
+        node = If(cond, span=Span.at(keyword))
+        self.append_stmt(node)
+        self.block_stack.append(("if", node, False))
+        try:
+            if self.ts.at_keyword("CALL"):
+                self.parse_call(None, None)
+            else:
+                self.parse_assignment(None)
+        finally:
+            self.block_stack.pop()
+        if label is not None:
+            self.close_label(label, label_token)
+
+    def handle_else(self, token: Token) -> None:
+        if not self.block_stack or self.block_stack[-1][0] != "if":
+            raise ParseError(
+                "ELSE without matching IF", token.line, token.column
+            )
+        _, node, in_else = self.block_stack[-1]
+        if in_else:
+            raise ParseError(
+                "duplicate ELSE for the same IF", token.line, token.column
+            )
+        self.block_stack[-1] = ("if", node, True)
+
+    def close_endif(self, token: Token) -> None:
+        if not self.block_stack or self.block_stack[-1][0] != "if":
+            raise ParseError(
+                "ENDIF without matching IF", token.line, token.column
+            )
+        self.block_stack.pop()
+
+    def parse_condition(self) -> Expr:
+        left = self.parse_expr()
+        op = self._relational_op()
+        right = self.parse_expr()
+        return Compare(op, left, right)
+
+    def _relational_op(self) -> str:
+        token = self.ts.peek()
+        for text in ("<=", ">=", "==", "<", ">"):
+            if self.ts.accept(OP, text):
+                return text
+        # F90 not-equal: "/=" lexes as two adjacent single-char operators.
+        if (
+            self.ts.at(OP, "/")
+            and self.ts.peek(1).kind == OP
+            and self.ts.peek(1).text == "="
+        ):
+            self.ts.next()
+            self.ts.next()
+            return "!="
+        raise ParseError(
+            f"expected a relational operator, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    # -- subroutines and calls -------------------------------------------------
+
+    def parse_subroutine(self) -> None:
+        keyword = self.ts.next()  # SUBROUTINE
+        if self.unit is not None or self.block_stack:
+            raise ParseError(
+                "SUBROUTINE cannot be nested",
+                keyword.line,
+                keyword.column,
+            )
+        name = self.ts.expect(IDENT).text
+        params: list[str] = []
+        if self.ts.accept(OP, "("):
+            if not self.ts.at(OP, ")"):
+                params.append(self.ts.expect(IDENT).text)
+                while self.ts.accept(OP, ","):
+                    params.append(self.ts.expect(IDENT).text)
+            self.ts.expect(OP, ")")
+        self.ts.expect_end_of_line()
+        if name in self.program.subroutines:
+            raise ParseError(
+                f"SUBROUTINE {name} defined twice",
+                keyword.line,
+                keyword.column,
+            )
+        unit = Subroutine(name, tuple(params), span=Span.at(keyword))
+        self.program.subroutines[name] = unit
+        self.unit = unit
+
+    def close_unit(self, token: Token) -> None:
+        """A bare END: closes the current SUBROUTINE, no-op in the main unit."""
+        if self.unit is None:
+            return
+        if self.block_stack:
+            error = self._unclosed_block_error()
+            assert error is not None
+            raise error
+        self.unit = None
+
+    def parse_call(self, label: str | None, label_token: Token | None) -> None:
+        keyword = self.ts.next()  # CALL
+        name = self.ts.expect(IDENT).text
+        args: list[Expr] = []
+        if self.ts.accept(OP, "("):
+            if not self.ts.at(OP, ")"):
+                args.append(self.parse_expr())
+                while self.ts.accept(OP, ","):
+                    args.append(self.parse_expr())
+            self.ts.expect(OP, ")")
+        self.ts.expect_end_of_line()
+        self.append_stmt(CallStmt(name, tuple(args), span=Span.at(keyword)))
+        if label is not None:
+            self.close_label(label, label_token)
 
     # -- statements -----------------------------------------------------------------
 
@@ -327,6 +558,12 @@ class _FortranParser:
     def parse_term(self) -> Expr:
         expr = self.parse_factor()
         while self.ts.at(OP, "*") or self.ts.at(OP, "/"):
+            # "/" immediately followed by "=" is the F90 not-equal operator,
+            # not a division: leave it for the relational parser.
+            if self.ts.at(OP, "/") and self.ts.peek(1).kind == OP and (
+                self.ts.peek(1).text == "="
+            ):
+                break
             op = self.ts.next().text
             expr = BinOp(op, expr, self.parse_factor())
         return expr
@@ -364,12 +601,15 @@ class _FortranParser:
         )
 
     def _is_array(self, name: str) -> bool:
+        if self.unit is not None and name in self.unit.decls:
+            return True
         return name in self.program.decls or name in self.implicit_arrays
 
     def _note_implicit(self, name: str, rank: int) -> None:
         """Register an implicitly declared array (unknown bounds)."""
-        if name not in self.program.decls:
-            self.program.decls[name] = ArrayDecl(name, (), "REAL")
+        decls = self.unit.decls if self.unit is not None else self.program.decls
+        if name not in decls:
+            decls[name] = ArrayDecl(name, (), "REAL")
         del rank  # rank consistency is a checker concern, not the parser's
 
 

@@ -10,6 +10,7 @@ from .expr import (
     ArrayRef,
     BinOp,
     Call,
+    Compare,
     Deref,
     Expr,
     IntLit,
@@ -23,13 +24,19 @@ from .nodes import (
     CommonBlock,
     ArrayDim,
     Assignment,
+    CallStmt,
     Equivalence,
+    Guard,
+    If,
     Loop,
     Program,
     RefContext,
     Stmt,
+    Subroutine,
     collect_refs,
     common_loop_count,
+    has_control_flow,
+    mutually_exclusive,
 )
 from .interp import InterpreterError, Store, run_program
 from .pprint import format_program, format_statements
@@ -42,10 +49,14 @@ __all__ = [
     "Assignment",
     "BinOp",
     "Call",
+    "CallStmt",
     "CommonBlock",
+    "Compare",
     "Deref",
     "Equivalence",
     "Expr",
+    "Guard",
+    "If",
     "IntLit",
     "InterpreterError",
     "Loop",
@@ -55,13 +66,16 @@ __all__ = [
     "Span",
     "Stmt",
     "Store",
+    "Subroutine",
     "UnaryOp",
     "collect_refs",
     "common_loop_count",
     "evaluate_expr",
     "format_program",
     "format_statements",
+    "has_control_flow",
     "is_loop_invariant",
+    "mutually_exclusive",
     "run_program",
     "substitute_name",
     "to_linexpr",

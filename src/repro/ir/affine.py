@@ -11,7 +11,7 @@ division...).
 from __future__ import annotations
 
 from ..symbolic import LinExpr, Poly
-from .expr import ArrayRef, BinOp, Call, Deref, Expr, IntLit, Name, UnaryOp
+from .expr import ArrayRef, BinOp, Call, Compare, Deref, Expr, IntLit, Name, UnaryOp
 
 
 def to_linexpr(expr: Expr, loop_vars: set[str]) -> LinExpr | None:
@@ -31,7 +31,7 @@ def to_linexpr(expr: Expr, loop_vars: set[str]) -> LinExpr | None:
         return None if inner is None else -inner
     if isinstance(expr, BinOp):
         return _lower_binop(expr, loop_vars)
-    if isinstance(expr, (Call, ArrayRef, Deref)):
+    if isinstance(expr, (Call, ArrayRef, Deref, Compare)):
         return None
     raise TypeError(f"unknown expression {type(expr).__name__}")
 

@@ -118,6 +118,31 @@ class UnaryOp(Expr):
 
 
 @dataclass(frozen=True)
+class Compare(Expr):
+    """A relational comparison ``left op right`` (IF conditions only).
+
+    Comparisons never appear inside subscripts or arithmetic — the parsers
+    only build them as the condition of a structured ``IF``.  Keeping them a
+    distinct node (instead of widening :class:`BinOp`) preserves the
+    invariant that every ``BinOp`` is arithmetic.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<", "<=", ">", ">=", "==", "!="):
+            raise ValueError(f"unsupported comparison {self.op!r}")
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
 class Call(Expr):
     """A function call with unknown value (e.g. ``IFUN(10)``)."""
 
@@ -208,6 +233,12 @@ def substitute_name(expr: Expr, name: str, replacement: Expr) -> Expr:
             expr.func,
             tuple(substitute_name(a, name, replacement) for a in expr.args),
         )
+    if isinstance(expr, Compare):
+        return Compare(
+            expr.op,
+            substitute_name(expr.left, name, replacement),
+            substitute_name(expr.right, name, replacement),
+        )
     if isinstance(expr, ArrayRef):
         return ArrayRef(
             expr.array,
@@ -242,4 +273,18 @@ def evaluate_expr(expr: Expr, env: dict[str, int]) -> int:
         # FORTRAN integer division truncates toward zero.
         quotient = abs(left) // abs(right)
         return quotient if (left >= 0) == (right >= 0) else -quotient
+    if isinstance(expr, Compare):
+        left = evaluate_expr(expr.left, env)
+        right = evaluate_expr(expr.right, env)
+        return int(_COMPARISONS[expr.op](left, right))
     raise ValueError(f"cannot evaluate {expr!r}")
+
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}

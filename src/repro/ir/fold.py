@@ -7,13 +7,29 @@ arithmetic.  Folding is purely local and semantics-preserving.
 
 from __future__ import annotations
 
-from .expr import ArrayRef, BinOp, Call, Deref, Expr, IntLit, Name, UnaryOp
+from .expr import (
+    _COMPARISONS,
+    ArrayRef,
+    BinOp,
+    Call,
+    Compare,
+    Deref,
+    Expr,
+    IntLit,
+    Name,
+    UnaryOp,
+)
 
 
 def fold(expr: Expr) -> Expr:
     """Recursively fold constants and algebraic identities."""
     if isinstance(expr, (IntLit, Name)):
         return expr
+    if isinstance(expr, Compare):
+        left, right = fold(expr.left), fold(expr.right)
+        if isinstance(left, IntLit) and isinstance(right, IntLit):
+            return IntLit(int(_COMPARISONS[expr.op](left.value, right.value)))
+        return Compare(expr.op, left, right)
     if isinstance(expr, UnaryOp):
         inner = fold(expr.operand)
         if isinstance(inner, IntLit):
@@ -98,6 +114,8 @@ def simplify_deep(expr: Expr) -> Expr:
         return Call(expr.func, tuple(simplify(a) for a in expr.args))
     if isinstance(expr, Deref):
         return Deref(simplify(expr.pointer))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, simplify(expr.left), simplify(expr.right))
     if isinstance(expr, BinOp):
         rebuilt = BinOp(expr.op, simplify_deep(expr.left), simplify_deep(expr.right))
         return simplify(rebuilt)

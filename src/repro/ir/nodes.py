@@ -136,6 +136,109 @@ class Loop(Stmt):
 
 
 @dataclass
+class If(Stmt):
+    """A structured ``IF (cond) THEN ... ELSE ... ENDIF`` block.
+
+    References inside either branch are *control dependent* on the
+    condition; the dependence graph records them with a guard (see
+    :class:`Guard`) instead of refusing to analyze the program.
+    """
+
+    cond: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+    span: Span | None = field(default=None, compare=False, repr=False)
+
+    def __str__(self) -> str:
+        return f"IF ({self.cond}) THEN"
+
+
+@dataclass
+class CallStmt(Stmt):
+    """A subroutine invocation ``CALL name(args)``.
+
+    ``resolved_refs`` is filled by the interprocedural summary analysis
+    (:mod:`repro.analysis.interproc`): the call's array effects translated
+    into the caller's frame.  Until resolution runs the call contributes no
+    references; :func:`repro.analysis.interproc.ensure_calls_resolved` is
+    invoked by every dependence-graph entry point so an unresolved call can
+    never silently reach pair analysis.
+    """
+
+    name: str
+    args: tuple[Expr, ...] = field(default_factory=tuple)
+    label: str | None = None
+    span: Span | None = field(default=None, compare=False, repr=False)
+    #: filled in by interprocedural resolution; excluded from equality so
+    #: structurally identical calls stay equal before/after resolution.
+    resolved_refs: list[tuple[ArrayRef, bool]] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def refs(self) -> list[tuple[ArrayRef, bool]]:
+        """Array effects in the caller's frame (empty until resolved)."""
+        if self.resolved_refs is None:
+            return []
+        return list(self.resolved_refs)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"CALL {self.name}({args})"
+
+
+@dataclass
+class Subroutine:
+    """A subroutine definition: ``SUBROUTINE name(params) ... END``.
+
+    Bodies are kept unanalyzed; the interprocedural pass summarizes their
+    array effects per formal parameter and translates them at each CALL.
+    """
+
+    name: str
+    params: tuple[str, ...] = field(default_factory=tuple)
+    decls: dict[str, ArrayDecl] = field(default_factory=dict)
+    body: list[Stmt] = field(default_factory=list)
+    span: Span | None = field(default=None, compare=False, repr=False)
+
+    def array(self, name: str) -> ArrayDecl | None:
+        return self.decls.get(name)
+
+    def __str__(self) -> str:
+        return f"SUBROUTINE {self.name}({', '.join(self.params)})"
+
+
+@dataclass(frozen=True, eq=False)
+class Guard:
+    """One control-dependence qualifier: a branch of a specific ``IF``.
+
+    Identity semantics (``eq=False``): two guards are the same guard only
+    when they refer to the *same* IF node instance.  Within one program
+    object — including a worker's unpickled copy — instance identity is
+    consistent, which is what mutual-exclusion reasoning needs.
+    """
+
+    node: If
+    branch: bool  # True = THEN branch, False = ELSE branch
+
+    @property
+    def cond(self) -> Expr:
+        return self.node.cond
+
+    def __str__(self) -> str:
+        if self.branch:
+            return f"({self.cond})"
+        return f"!({self.cond})"
+
+
+def mutually_exclusive(a: tuple[Guard, ...], b: tuple[Guard, ...]) -> bool:
+    """True when the two guard sets cannot both hold in one iteration:
+    they take opposite branches of the same IF instance."""
+    return any(
+        ga.node is gb.node and ga.branch != gb.branch for ga in a for gb in b
+    )
+
+
+@dataclass
 class Program:
     """A whole analyzable unit: declarations plus a statement list."""
 
@@ -144,6 +247,7 @@ class Program:
     body: list[Stmt] = field(default_factory=list)
     name: str = "MAIN"
     commons: list[CommonBlock] = field(default_factory=list)
+    subroutines: dict[str, Subroutine] = field(default_factory=dict)
 
     def declare(self, decl: ArrayDecl) -> None:
         if decl.name in self.decls:
@@ -155,15 +259,30 @@ class Program:
 
     # -- traversal ----------------------------------------------------------
 
-    def walk_statements(self) -> Iterator[tuple[Assignment, tuple[Loop, ...]]]:
-        """Yield every assignment with its enclosing loop tuple, in order."""
-        yield from _walk(self.body, ())
+    def walk_statements(
+        self,
+    ) -> Iterator[tuple["Assignment | CallStmt", tuple[Loop, ...]]]:
+        """Yield every assignment/call with its enclosing loop tuple, in
+        order (recursing through IF branches)."""
+        for stmt, loops, _ in _walk(self.body, (), ()):
+            yield stmt, loops
+
+    def walk_statements_guarded(
+        self,
+    ) -> Iterator[tuple["Assignment | CallStmt", tuple[Loop, ...], tuple[Guard, ...]]]:
+        """Like :meth:`walk_statements`, additionally yielding the stack of
+        IF-branch guards enclosing each statement."""
+        yield from _walk(self.body, (), ())
 
     def assignments(self) -> list[Assignment]:
-        return [stmt for stmt, _ in self.walk_statements()]
+        return [
+            stmt
+            for stmt, _ in self.walk_statements()
+            if isinstance(stmt, Assignment)
+        ]
 
     def number_statements(self, prefix: str = "S") -> None:
-        """Assign labels S1, S2, ... to assignments in textual order."""
+        """Assign labels S1, S2, ... to statements in textual order."""
         for index, (stmt, _) in enumerate(self.walk_statements(), start=1):
             stmt.label = f"{prefix}{index}"
 
@@ -175,39 +294,69 @@ class Program:
             if isinstance(node, Loop):
                 out.add(node.var)
                 stack.extend(node.body)
+            elif isinstance(node, If):
+                stack.extend(node.then_body)
+                stack.extend(node.else_body)
         return out
 
-    def statement(self, label: str) -> Assignment:
-        for stmt in self.assignments():
+    def statement(self, label: str) -> "Assignment | CallStmt":
+        for stmt, _ in self.walk_statements():
             if stmt.label == label:
                 return stmt
         raise KeyError(f"no statement labelled {label!r}")
 
 
 def _walk(
-    stmts: Sequence[Stmt], loops: tuple[Loop, ...]
-) -> Iterator[tuple[Assignment, tuple[Loop, ...]]]:
+    stmts: Sequence[Stmt], loops: tuple[Loop, ...], guards: tuple[Guard, ...]
+) -> Iterator[tuple["Assignment | CallStmt", tuple[Loop, ...], tuple[Guard, ...]]]:
     for stmt in stmts:
         if isinstance(stmt, Assignment):
-            yield stmt, loops
+            yield stmt, loops, guards
+        elif isinstance(stmt, CallStmt):
+            yield stmt, loops, guards
         elif isinstance(stmt, Loop):
-            yield from _walk(stmt.body, loops + (stmt,))
+            yield from _walk(stmt.body, loops + (stmt,), guards)
+        elif isinstance(stmt, If):
+            yield from _walk(
+                stmt.then_body, loops, guards + (Guard(stmt, True),)
+            )
+            yield from _walk(
+                stmt.else_body, loops, guards + (Guard(stmt, False),)
+            )
         else:
             raise TypeError(f"unknown statement {type(stmt).__name__}")
 
 
+def has_control_flow(stmts: Sequence[Stmt]) -> bool:
+    """True when the statement list contains an IF or a CALL anywhere."""
+    stack = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (If, CallStmt)):
+            return True
+        if isinstance(node, Loop):
+            stack.extend(node.body)
+    return False
+
+
 @dataclass(frozen=True)
 class RefContext:
-    """An array reference in context: statement, nest, read/write."""
+    """An array reference in context: statement, nest, read/write, guards."""
 
     ref: ArrayRef
-    stmt: Assignment
+    stmt: "Assignment | CallStmt"
     loops: tuple[Loop, ...]
     is_write: bool
+    guards: tuple[Guard, ...] = ()
 
     @property
     def loop_vars(self) -> tuple[str, ...]:
         return tuple(loop.var for loop in self.loops)
+
+    @property
+    def guarded(self) -> bool:
+        """The reference only executes on specific IF branches."""
+        return bool(self.guards)
 
     def __str__(self) -> str:
         kind = "write" if self.is_write else "read"
@@ -217,10 +366,10 @@ class RefContext:
 def collect_refs(program: Program, array: str | None = None) -> list[RefContext]:
     """All array references of a program (optionally of one array), in order."""
     out: list[RefContext] = []
-    for stmt, loops in program.walk_statements():
+    for stmt, loops, guards in program.walk_statements_guarded():
         for ref, is_write in stmt.refs():
             if array is None or ref.array == array:
-                out.append(RefContext(ref, stmt, loops, is_write))
+                out.append(RefContext(ref, stmt, loops, is_write, guards))
     return out
 
 

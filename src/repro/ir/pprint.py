@@ -8,7 +8,7 @@ which the round-trip tests rely on.
 from __future__ import annotations
 
 from .expr import IntLit
-from .nodes import Assignment, Loop, Program, Stmt
+from .nodes import Assignment, CallStmt, If, Loop, Program, Stmt, Subroutine
 
 
 def format_program(program: Program, indent: str = "  ") -> str:
@@ -24,7 +24,22 @@ def format_program(program: Program, indent: str = "  ") -> str:
     for equiv in program.equivalences:
         lines.append(str(equiv))
     lines.extend(_format_stmts(program.body, 0, indent))
+    for sub in program.subroutines.values():
+        lines.append("END")
+        lines.extend(_format_subroutine(sub, indent))
     return "\n".join(lines) + "\n"
+
+
+def _format_subroutine(sub: Subroutine, indent: str) -> list[str]:
+    lines = [f"SUBROUTINE {sub.name}({', '.join(sub.params)})"]
+    for decl in sub.decls.values():
+        if not decl.dims:
+            continue
+        dims = ", ".join(str(d) for d in decl.dims)
+        lines.append(indent + f"{decl.elem_type} {decl.name}({dims})")
+    lines.extend(_format_stmts(sub.body, 1, indent))
+    lines.append("END")
+    return lines
 
 
 def format_statements(stmts: list[Stmt], indent: str = "  ") -> str:
@@ -43,6 +58,18 @@ def _format_stmts(stmts: list[Stmt], depth: int, indent: str) -> list[str]:
             lines.append(pad + head)
             lines.extend(_format_stmts(stmt.body, depth + 1, indent))
             lines.append(pad + "ENDDO")
+        elif isinstance(stmt, If):
+            lines.append(pad + f"IF ({stmt.cond}) THEN")
+            lines.extend(_format_stmts(stmt.then_body, depth + 1, indent))
+            if stmt.else_body:
+                lines.append(pad + "ELSE")
+                lines.extend(_format_stmts(stmt.else_body, depth + 1, indent))
+            lines.append(pad + "ENDIF")
+        elif isinstance(stmt, CallStmt):
+            text = str(stmt)
+            if stmt.label:
+                text = f"{text}  ! {stmt.label}"
+            lines.append(pad + text)
         elif isinstance(stmt, Assignment):
             text = f"{stmt.lhs} = {stmt.rhs}"
             if stmt.label:

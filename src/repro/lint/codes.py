@@ -21,7 +21,14 @@ without parsing message text.  Codes are grouped by prefix:
 * ``RS0xx`` — resilience findings: the pipeline degraded to a sound
   conservative answer instead of crashing (budget exhaustion, internal
   errors caught by a barrier, parser recovery), powered by
-  :mod:`repro.core.resilience`.
+  :mod:`repro.core.resilience`;
+* ``CD0xx`` — control-dependence findings: dependences that only exist on
+  some control-flow paths (guarded by IF arms), and guarded mutations of
+  subscript-feeding scalars, powered by :mod:`repro.lint.dataflow` and the
+  guard machinery in :mod:`repro.depgraph.builder`;
+* ``AL0xx`` — interprocedural aliasing findings at CALL sites: provable
+  parameter aliases and possible aliases that force conservative
+  dependence edges, powered by :mod:`repro.analysis.interproc`.
 
 ``docs/DIAGNOSTICS.md`` catalogues each code with an example.
 """
@@ -147,6 +154,24 @@ RS003 = _register(
 )
 RS004 = _register(
     "RS004", WARNING, "parser recovered at a statement boundary"
+)
+
+# -- CD: control dependence -----------------------------------------------------
+
+CD001 = _register(
+    "CD001", NOTE, "dependence holds only on a guarded control-flow path"
+)
+CD002 = _register(
+    "CD002", WARNING, "subscript-feeding scalar is mutated under a guard"
+)
+
+# -- AL: interprocedural aliasing -----------------------------------------------
+
+AL001 = _register(
+    "AL001", WARNING, "CALL provably aliases two parameters onto one array"
+)
+AL002 = _register(
+    "AL002", NOTE, "possible parameter alias forces conservative edges"
 )
 
 

@@ -1,17 +1,21 @@
 """A small dataflow framework over the loop-nest IR.
 
-The IR is structured (statement lists and DO loops, no arbitrary branches),
-so the control-flow graph is simple: one node per assignment, one header node
-per loop with a back edge from the end of its body and a bypass edge for the
-zero-trip case, plus synthetic entry/exit nodes.
+The IR is structured (statement lists, DO loops, block IFs and CALLs — no
+arbitrary branches), so the control-flow graph stays simple: one node per
+assignment or CALL, one header node per loop with a back edge from the end of
+its body and a bypass edge for the zero-trip case, one branch node per IF
+with an edge into each arm, plus synthetic entry/exit nodes.
 
 On top of a generic worklist solver (:func:`solve`) the module provides the
 classic passes the lint engine needs:
 
 * reaching definitions and use-def chains for scalars,
+* postdominators and the control-dependence relation
+  (Ferrante-Ottenstein-Warren over the postdominator sets),
 * maybe-uninitialized-read detection (``DF001``),
 * loop-invariance classification of the symbols that appear in subscripts,
-  loop bounds and user assumptions (``DF002``/``DF003``/``DF004``).
+  loop bounds and user assumptions (``DF002``/``DF003``/``DF004``),
+* control-dependent induction mutation detection (``CD002``).
 
 The invariance classification is what lets the dependence analysis treat a
 symbolic coefficient such as ``N`` in ``A(N*N*k + N*j + i)`` as a genuine
@@ -24,7 +28,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from ..ir import ArrayRef, Assignment, Deref, Expr, Loop, Name, Program, Stmt
+from ..ir import (
+    ArrayRef,
+    Assignment,
+    CallStmt,
+    Deref,
+    Expr,
+    If,
+    Loop,
+    Name,
+    Program,
+    Stmt,
+)
 from . import codes
 from .diagnostics import Diagnostic
 
@@ -34,10 +49,10 @@ ENTRY_DEF = -1
 
 @dataclass
 class CFGNode:
-    """One control-flow node: an assignment, a loop header, or entry/exit."""
+    """One control-flow node: a statement, a loop/branch header, or entry/exit."""
 
     id: int
-    kind: str  # "entry" | "exit" | "assign" | "loop"
+    kind: str  # "entry" | "exit" | "assign" | "loop" | "branch" | "call"
     stmt: Stmt | None = None
     loops: tuple[Loop, ...] = ()
     succs: list[int] = field(default_factory=list)
@@ -75,29 +90,104 @@ def build_cfg(program: Program) -> CFG:
         src.succs.append(dst.id)
         dst.preds.append(src.id)
 
+    def dedup(frontier: list[CFGNode]) -> list[CFGNode]:
+        seen: set[int] = set()
+        out: list[CFGNode] = []
+        for node in frontier:
+            if node.id not in seen:
+                seen.add(node.id)
+                out.append(node)
+        return out
+
     def lower_block(
-        stmts: list[Stmt], pred: CFGNode, loops: tuple[Loop, ...]
-    ) -> CFGNode:
-        """Wire a statement list after ``pred``; returns the last node."""
+        stmts: list[Stmt], preds: list[CFGNode], loops: tuple[Loop, ...]
+    ) -> list[CFGNode]:
+        """Wire a statement list after ``preds``; returns the exit frontier."""
         for stmt in stmts:
             if isinstance(stmt, Loop):
                 header = add("loop", stmt, loops)
-                link(pred, header)
-                tail = lower_block(stmt.body, header, loops + (stmt,))
-                if tail is not header:
-                    link(tail, header)  # back edge
-                pred = header  # bypass edge: the loop may run zero times
-            elif isinstance(stmt, Assignment):
-                node = add("assign", stmt, loops)
-                link(pred, node)
-                pred = node
+                for pred in preds:
+                    link(pred, header)
+                tails = lower_block(stmt.body, [header], loops + (stmt,))
+                for tail in tails:
+                    if tail is not header:
+                        link(tail, header)  # back edge
+                preds = [header]  # bypass edge: the loop may run zero times
+            elif isinstance(stmt, If):
+                branch = add("branch", stmt, loops)
+                for pred in preds:
+                    link(pred, branch)
+                then_tails = lower_block(stmt.then_body, [branch], loops)
+                else_tails = lower_block(stmt.else_body, [branch], loops)
+                # An empty arm leaves the branch itself on the frontier: that
+                # is the fall-through edge to whatever follows the ENDIF.
+                preds = dedup(then_tails + else_tails)
+            elif isinstance(stmt, (Assignment, CallStmt)):
+                kind = "assign" if isinstance(stmt, Assignment) else "call"
+                node = add(kind, stmt, loops)
+                for pred in preds:
+                    link(pred, node)
+                preds = [node]
             else:
                 raise TypeError(f"unknown statement {type(stmt).__name__}")
-        return pred
+        return preds
 
-    tail = lower_block(program.body, nodes[0], ())
-    link(tail, nodes[1])
+    tails = lower_block(program.body, [nodes[0]], ())
+    for tail in tails:
+        link(tail, nodes[1])
     return CFG(nodes)
+
+
+# -- postdominators and control dependence ------------------------------------
+
+
+def postdominators(cfg: CFG) -> dict[int, frozenset]:
+    """Postdominator sets (every node postdominates itself).
+
+    Standard iterative intersection over the reversed graph; the CFG is tiny
+    (one node per statement) so set-based convergence is plenty fast.
+    """
+    all_ids = frozenset(node.id for node in cfg.nodes)
+    pdom: dict[int, frozenset] = {node.id: all_ids for node in cfg.nodes}
+    pdom[cfg.exit.id] = frozenset({cfg.exit.id})
+    changed = True
+    while changed:
+        changed = False
+        for node in reversed(cfg.nodes):
+            if node.id == cfg.exit.id:
+                continue
+            if node.succs:
+                new = frozenset.intersection(
+                    *(pdom[s] for s in node.succs)
+                ) | {node.id}
+            else:
+                new = frozenset({node.id})
+            if new != pdom[node.id]:
+                pdom[node.id] = new
+                changed = True
+    return pdom
+
+
+def control_dependences(cfg: CFG) -> dict[int, set[int]]:
+    """Node id -> ids of the branch/loop nodes it is control-dependent on.
+
+    Ferrante-Ottenstein-Warren, phrased over postdominator sets: ``N`` is
+    control-dependent on ``A`` iff ``A`` has an edge to some ``B`` with ``N``
+    postdominating ``B`` but not strictly postdominating ``A``.  Loop headers
+    count: their body is control-dependent on the zero-trip test, which is
+    exactly the classical result.
+    """
+    pdom = postdominators(cfg)
+    deps: dict[int, set[int]] = {node.id: set() for node in cfg.nodes}
+    for node in cfg.nodes:
+        if len(node.succs) < 2:
+            continue
+        strict = pdom[node.id] - {node.id}
+        for succ in node.succs:
+            for dependent in pdom[succ]:
+                if dependent not in strict:
+                    deps[dependent].add(node.id)
+    return deps
 
 
 def solve(
@@ -162,7 +252,7 @@ def _defined_name(node: CFGNode) -> str | None:
 
 
 def _scalar_reads(node: CFGNode, arrays: set[str]) -> set[str]:
-    """Scalar names a node reads (subscripts, rhs, loop bounds)."""
+    """Scalar names a node reads (subscripts, rhs, loop bounds, conditions)."""
     exprs: list[Expr] = []
     if node.kind == "loop":
         assert isinstance(node.stmt, Loop)
@@ -174,6 +264,12 @@ def _scalar_reads(node: CFGNode, arrays: set[str]) -> set[str]:
             exprs.extend(node.stmt.lhs.subscripts)
         elif isinstance(node.stmt.lhs, Deref):
             exprs.append(node.stmt.lhs.pointer)
+    elif node.kind == "branch":
+        assert isinstance(node.stmt, If)
+        exprs = [node.stmt.cond]
+    elif node.kind == "call":
+        assert isinstance(node.stmt, CallStmt)
+        exprs = list(node.stmt.args)
     out: set[str] = set()
     for expr in exprs:
         for sub in expr.walk():
@@ -220,6 +316,15 @@ def reaching_definitions(program: Program, cfg: CFG | None = None) -> ReachingDe
     }
 
     def transfer(node: CFGNode, facts: frozenset) -> frozenset:
+        if node.kind == "call":
+            # A callee may assign any scalar passed by name: gen without
+            # kill (may-define) keeps the analysis sound on both outcomes.
+            assert isinstance(node.stmt, CallStmt)
+            return facts | frozenset(
+                (arg.name, node.id)
+                for arg in node.stmt.args
+                if isinstance(arg, Name)
+            )
         name = _defined_name(node)
         if name is None:
             return facts
@@ -246,7 +351,11 @@ def reaching_definitions(program: Program, cfg: CFG | None = None) -> ReachingDe
 
 
 def assigned_scalars(stmts: list[Stmt]) -> set[str]:
-    """Scalars assigned (or used as a loop variable) within a statement list."""
+    """Scalars assigned (or used as a loop variable) within a statement list.
+
+    Scalars passed by name to a CALL count as assigned: the callee may
+    mutate them, and "possibly mutated" must be treated as mutated here.
+    """
     out: set[str] = set()
     stack = list(stmts)
     while stack:
@@ -256,26 +365,44 @@ def assigned_scalars(stmts: list[Stmt]) -> set[str]:
             stack.extend(stmt.body)
         elif isinstance(stmt, Assignment) and isinstance(stmt.lhs, Name):
             out.add(stmt.lhs.name)
+        elif isinstance(stmt, If):
+            stack.extend(stmt.then_body)
+            stack.extend(stmt.else_body)
+        elif isinstance(stmt, CallStmt):
+            out |= {
+                arg.name for arg in stmt.args if isinstance(arg, Name)
+            }
     return out
 
 
 def invariant_symbols(program: Program) -> set[str]:
     """Symbols proven invariant over the whole program.
 
-    A symbol is a true parameter (``N``, ``Q``...) iff it is never assigned
-    and never used as a loop variable; such symbols are safe to constrain in
-    :class:`repro.symbolic.Assumptions` and to use as symbolic coefficients.
+    A symbol is a true parameter (``N``, ``Q``...) iff it is never assigned,
+    never used as a loop variable, and never passed by name to a CALL; such
+    symbols are safe to constrain in :class:`repro.symbolic.Assumptions` and
+    to use as symbolic coefficients.
     """
     mutated = assigned_scalars(program.body)
     mentioned: set[str] = set()
     arrays = set(program.decls)
-    for stmt, loops in program.walk_statements():
+    for stmt, loops, guards in program.walk_statements_guarded():
         for loop in loops:
             for expr in (loop.lower, loop.upper, loop.step):
                 mentioned |= {
                     n.name for n in expr.walk() if isinstance(n, Name)
                 }
-        for expr in (stmt.lhs, stmt.rhs):
+        for guard in guards:
+            mentioned |= {
+                n.name
+                for n in guard.cond.walk()
+                if isinstance(n, Name) and n.name not in arrays
+            }
+        if isinstance(stmt, CallStmt):
+            exprs: tuple[Expr, ...] = stmt.args
+        else:
+            exprs = (stmt.lhs, stmt.rhs)
+        for expr in exprs:
             mentioned |= {
                 n.name
                 for n in expr.walk()
@@ -298,7 +425,7 @@ def check_uninitialized_reads(
     rd = reaching_definitions(program, cfg)
     diags: list[Diagnostic] = []
     for node in cfg.nodes:
-        if node.kind not in ("assign", "loop"):
+        if node.kind not in ("assign", "loop", "branch", "call"):
             continue
         for name, defs in sorted(rd.use_def(node).items()):
             if name not in rd.defined_anywhere:
@@ -418,15 +545,56 @@ def check_assumption_invariance(
     return diags
 
 
+def check_control_dependent_mutation(program: Program) -> list[Diagnostic]:
+    """``CD002``: a subscript-feeding scalar is assigned under a guard.
+
+    A scalar assigned inside an IF arm within a loop nest has no analyzable
+    closed form — its value depends on how often the guard held, so the
+    induction recognizer cannot substitute it and any subscript using it
+    stays opaque.  This is the control-flow analogue of ``DF002``.
+    """
+    arrays = set(program.decls)
+    subscript_users: set[str] = set()
+    for stmt, _loops in program.walk_statements():
+        for ref, _is_write in stmt.refs():
+            for sub in ref.subscripts:
+                subscript_users |= {
+                    n.name
+                    for n in sub.walk()
+                    if isinstance(n, Name) and n.name not in arrays
+                }
+    diags: list[Diagnostic] = []
+    for stmt, loops, guards in program.walk_statements_guarded():
+        if not guards or not loops:
+            continue
+        if (
+            isinstance(stmt, Assignment)
+            and isinstance(stmt.lhs, Name)
+            and stmt.lhs.name in subscript_users
+        ):
+            diags.append(
+                Diagnostic.make(
+                    codes.CD002,
+                    f"scalar {stmt.lhs.name} is assigned under guard "
+                    f"{guards[-1]} inside loop {loops[-1].var} but feeds "
+                    f"array subscripts; its sequence is not analyzable",
+                    statement=stmt.label,
+                    span=stmt.span,
+                )
+            )
+    return diags
+
+
 def run_dataflow_checks(
     program: Program,
     assumption_symbols: set[str] | None = None,
 ) -> list[Diagnostic]:
-    """All DF passes over one program, in code order."""
+    """All DF/CD dataflow passes over one program, in code order."""
     cfg = build_cfg(program)
     diags = check_uninitialized_reads(program, cfg)
     diags += check_subscript_invariance(program)
     diags += check_bound_invariance(program)
     if assumption_symbols:
         diags += check_assumption_invariance(program, assumption_symbols)
+    diags += check_control_dependent_mutation(program)
     return diags

@@ -192,7 +192,11 @@ def _graph_passes(
     """
     # Imported here: depgraph depends on lint.audit, so the package cannot
     # import it at module load time without a cycle.
-    from ..depgraph import analyze_dependences, conservative_graph
+    from ..depgraph import (
+        analyze_dependences,
+        conservative_graph,
+        control_diagnostics,
+    )
 
     barrier = Barrier(strict=strict)
     graph = barrier.run(
@@ -211,6 +215,8 @@ def _graph_passes(
         lambda: conservative_graph(program),
     )
     diags: list[Diagnostic] = list(graph.degradations)
+    diags += list(graph.alias_diagnostics)
+    diags += control_diagnostics(graph)
     if audit:
         report.audited_pairs = len(graph.edges)
         diags += list(graph.audit_diagnostics)

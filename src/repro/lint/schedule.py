@@ -54,7 +54,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..core.chaos import chaos_point
 from ..dirvec.vectors import D_EQ, D_GT, D_LT, DirVec
-from ..ir import ArrayRef, Assignment, Loop, Name, Program
+from ..ir import ArrayRef, Assignment, CallStmt, Loop, Name, Program
 from . import codes
 from .diagnostics import Diagnostic, sort_diagnostics
 
@@ -157,6 +157,12 @@ def _collect_sites(
             if node[0] == "loop":
                 _, loop, level, children = node
                 walk(children, chain + ((id(node), level, loop.var),))
+            elif node[0] == "if":
+                # Both arms run under the same serialized-loop chain; the
+                # branch node itself serializes nothing.
+                _, _if_stmt, then_children, else_children = node
+                walk(then_children, chain)
+                walk(else_children, chain)
             else:
                 entry = node[1]
                 label = entry.stmt.label or f"@{counter}"
@@ -249,6 +255,18 @@ def _scalar_obligations(program: Program) -> Iterable[_Obligation]:
     loop_vars = program.loop_variables()
     touched: dict[str, list[tuple[Assignment, tuple[Loop, ...], bool]]] = {}
     for stmt, loops in program.walk_statements():
+        if isinstance(stmt, CallStmt):
+            # Scalars passed by name may be written by the callee.
+            for arg in stmt.args:
+                if (
+                    isinstance(arg, Name)
+                    and arg.name not in arrays
+                    and arg.name not in loop_vars
+                ):
+                    touched.setdefault(arg.name, []).append(
+                        (stmt, loops, True)
+                    )
+            continue
         if isinstance(stmt.lhs, Name):
             touched.setdefault(stmt.lhs.name, []).append((stmt, loops, True))
         reads = {

@@ -28,7 +28,16 @@ from dataclasses import dataclass, field
 from ..core.chaos import chaos_point
 from ..depgraph.builder import Dependence, DependenceGraph
 from ..dirvec.vectors import D_EQ, DirVec
-from ..ir import Assignment, Loop, Name, Program, RefContext
+from ..ir import (
+    Assignment,
+    CallStmt,
+    If,
+    Loop,
+    Name,
+    Program,
+    RefContext,
+    has_control_flow,
+)
 from .scc import strongly_connected_components
 
 
@@ -68,15 +77,25 @@ class VectorizationResult:
         return [p.stmt.label for p in self.plan if not p.vector_levels]
 
 
-# Schedule tree nodes: either ("loop", Loop, level, children) or
-# ("stmt", VectorLoop).
+# Schedule tree nodes: ("loop", Loop, level, children),
+# ("stmt", VectorLoop), or ("if", If, then_children, else_children).
 ScheduleNode = tuple
 
 
 def vectorize(graph: DependenceGraph) -> VectorizationResult:
-    """Run Allen–Kennedy codegen over an analyzed program."""
+    """Run Allen–Kennedy codegen over an analyzed program.
+
+    Programs with control flow (IF blocks or CALLs) take the fully serial
+    schedule: the AK recursion reorders and distributes statements, which is
+    only legal when every statement instance of a loop body executes — a
+    guarded statement breaks that premise, and a CALL's side effects cannot
+    be reordered against anything.  The guarded dependence edges in the
+    graph keep the serial plan verifiable (see :mod:`repro.lint.schedule`).
+    """
     chaos_point("vectorize.codegen")
     program = graph.program
+    if has_control_flow(program.body):
+        return serial_plan(program)
     statements = list(program.walk_statements())
     edges = list(graph.edges) + _scalar_edges(program, statements)
     result = VectorizationResult(program)
@@ -118,7 +137,19 @@ def serial_plan(program: Program) -> VectorizationResult:
                 if node is not None:
                     children.append(node)
             return ("loop", stmt, level, children)
-        if isinstance(stmt, Assignment):
+        if isinstance(stmt, If):
+            then_children = [
+                node
+                for child in stmt.then_body
+                if (node := build(child, loops)) is not None
+            ]
+            else_children = [
+                node
+                for child in stmt.else_body
+                if (node := build(child, loops)) is not None
+            ]
+            return ("if", stmt, then_children, else_children)
+        if isinstance(stmt, (Assignment, CallStmt)):
             entry = VectorLoop(
                 stmt, loops, tuple(range(1, len(loops) + 1)), ()
             )
@@ -273,6 +304,19 @@ def _scalar_edges(
     loop_vars = program.loop_variables()
     touched: dict[str, list[tuple[Assignment, tuple[Loop, ...], bool]]] = {}
     for stmt, loops in statements:
+        if isinstance(stmt, CallStmt):
+            # A callee may assign any scalar passed by name: conservative
+            # write access (forces mutual edges with other touchers).
+            for arg in stmt.args:
+                if (
+                    isinstance(arg, Name)
+                    and arg.name not in arrays
+                    and arg.name not in loop_vars
+                ):
+                    touched.setdefault(arg.name, []).append(
+                        (stmt, loops, True)
+                    )
+            continue
         if isinstance(stmt.lhs, Name):
             touched.setdefault(stmt.lhs.name, []).append((stmt, loops, True))
         reads = {
@@ -325,9 +369,9 @@ def _scalar_edges(
     return edges
 
 
-def _scalar_ref(stmt: Assignment):
+def _scalar_ref(stmt):
     from ..ir import ArrayRef
 
-    if isinstance(stmt.lhs, ArrayRef):
+    if isinstance(stmt, Assignment) and isinstance(stmt.lhs, ArrayRef):
         return stmt.lhs
     return ArrayRef("<scalar>", ())

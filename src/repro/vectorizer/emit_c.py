@@ -13,7 +13,19 @@ rules); symbolic shapes raise.
 
 from __future__ import annotations
 
-from ..ir import ArrayRef, Assignment, BinOp, Call, Expr, IntLit, Loop, Name, UnaryOp
+from ..ir import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    CallStmt,
+    Compare,
+    Expr,
+    IntLit,
+    Loop,
+    Name,
+    UnaryOp,
+)
 from ..ir import to_poly
 from ..ir.fold import fold, simplify
 from .allen_kennedy import VectorizationResult, VectorLoop
@@ -61,6 +73,16 @@ def _emit_nodes(
             lines.append(pad + _for_header(loop))
             lines.extend(_emit_nodes(children, depth + 1, indent, result))
             lines.append(pad + "}")
+        elif node[0] == "if":
+            _, stmt, then_children, else_children = node
+            lines.append(pad + f"if ({_c_expr(stmt.cond, result)}) {{")
+            lines.extend(_emit_nodes(then_children, depth + 1, indent, result))
+            if else_children:
+                lines.append(pad + "} else {")
+                lines.extend(
+                    _emit_nodes(else_children, depth + 1, indent, result)
+                )
+            lines.append(pad + "}")
         else:
             _, entry = node
             lines.extend(_emit_statement(entry, depth, indent, result))
@@ -79,6 +101,10 @@ def _emit_statement(
 ) -> list[str]:
     lines: list[str] = []
     pad = indent * depth
+    if isinstance(entry.stmt, CallStmt):
+        args = ", ".join(_c_expr(a, result) for a in entry.stmt.args)
+        label = f"  /* {entry.stmt.label} */" if entry.stmt.label else ""
+        return [f"{pad}{entry.stmt.name}({args});{label}"]
     extra = 0
     for level in entry.vector_levels:
         loop = entry.loops[level - 1]
@@ -112,6 +138,8 @@ def _c_expr(expr: Expr, result: VectorizationResult | None = None) -> str:
         return f"{left} {expr.op} {right}"
     if isinstance(expr, UnaryOp):
         return f"-{_c_operand(expr.operand, '*', False, result)}"
+    if isinstance(expr, Compare):
+        return f"{_c_expr(expr.left, result)} {expr.op} {_c_expr(expr.right, result)}"
     if isinstance(expr, Call):
         args = ", ".join(_c_expr(a, result) for a in expr.args)
         return f"{expr.func}({args})"

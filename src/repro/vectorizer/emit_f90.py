@@ -10,7 +10,18 @@ licensed.  Serial loops stay ``DO``.
 
 from __future__ import annotations
 
-from ..ir import Assignment, BinOp, Call, Deref, Expr, IntLit, Loop, Name, UnaryOp
+from ..ir import (
+    Assignment,
+    BinOp,
+    Call,
+    CallStmt,
+    Deref,
+    Expr,
+    IntLit,
+    Loop,
+    Name,
+    UnaryOp,
+)
 from ..ir.expr import ArrayRef
 from ..ir.fold import fold, simplify
 from ..ir import to_linexpr
@@ -38,6 +49,14 @@ def _emit_nodes(nodes: list, depth: int, indent: str) -> list[str]:
             lines.append(pad + f"DO {loop.var} = {loop.lower}, {loop.upper}")
             lines.extend(_emit_nodes(children, depth + 1, indent))
             lines.append(pad + "ENDDO")
+        elif node[0] == "if":
+            _, stmt, then_children, else_children = node
+            lines.append(pad + f"IF ({stmt.cond}) THEN")
+            lines.extend(_emit_nodes(then_children, depth + 1, indent))
+            if else_children:
+                lines.append(pad + "ELSE")
+                lines.extend(_emit_nodes(else_children, depth + 1, indent))
+            lines.append(pad + "ENDIF")
         else:
             _, entry = node
             lines.extend(_emit_statement(entry, depth, indent))
@@ -48,6 +67,9 @@ def _emit_statement(
     entry: VectorLoop, depth: int, indent: str
 ) -> list[str]:
     pad = indent * depth
+    if isinstance(entry.stmt, CallStmt):
+        label = f"  ! {entry.stmt.label}" if entry.stmt.label else ""
+        return [f"{pad}{entry.stmt}{label}"]
     vector_vars = {
         entry.loops[level - 1].var: entry.loops[level - 1]
         for level in entry.vector_levels

@@ -26,7 +26,9 @@ from ..ir.interp import (
     Store,
     eval_expr,
     execute_assignment,
+    execute_call,
 )
+from ..ir.nodes import CallStmt, Subroutine
 from .allen_kennedy import VectorizationResult, VectorLoop
 
 
@@ -36,27 +38,52 @@ def run_schedule(
 ) -> Store:
     """Execute the vectorized schedule; returns the final store."""
     store = Store(scalars=dict(env or {}))
-    _exec_nodes(result.schedule, store, {})
+    _exec_nodes(
+        result.schedule, store, {}, result.program.subroutines
+    )
     return store
 
 
-def _exec_nodes(nodes: list, store: Store, loops: dict[str, int]) -> None:
+def _exec_nodes(
+    nodes: list,
+    store: Store,
+    loops: dict[str, int],
+    subroutines: Mapping[str, Subroutine],
+) -> None:
     for node in nodes:
         if node[0] == "loop":
             _, loop, _level, children = node
             lower = eval_expr(loop.lower, store, loops)
             upper = eval_expr(loop.upper, store, loops)
             for value in range(lower, upper + 1):
-                _exec_nodes(children, store, {**loops, loop.var: value})
+                _exec_nodes(
+                    children, store, {**loops, loop.var: value}, subroutines
+                )
+        elif node[0] == "if":
+            _, stmt, then_children, else_children = node
+            if eval_expr(stmt.cond, store, loops) != 0:
+                _exec_nodes(then_children, store, loops, subroutines)
+            else:
+                _exec_nodes(else_children, store, loops, subroutines)
         else:
             _, entry = node
-            _exec_vector_statement(entry, store, loops)
+            _exec_vector_statement(entry, store, loops, subroutines)
 
 
 def _exec_vector_statement(
-    entry: VectorLoop, store: Store, loops: dict[str, int]
+    entry: VectorLoop,
+    store: Store,
+    loops: dict[str, int],
+    subroutines: Mapping[str, Subroutine],
 ) -> None:
     vector_loops = [entry.loops[level - 1] for level in entry.vector_levels]
+    if isinstance(entry.stmt, CallStmt):
+        if vector_loops:
+            raise InterpreterError(
+                f"CALL {entry.stmt.name} cannot be vectorized"
+            )
+        execute_call(entry.stmt, store, loops, [2_000_000], subroutines)
+        return
     if not vector_loops:
         execute_assignment(entry.stmt, store, loops)
         return

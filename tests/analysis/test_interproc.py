@@ -1,0 +1,239 @@
+"""Subroutine summaries, CALL resolution, and parameter-alias findings."""
+
+from repro.analysis.interproc import (
+    ArrayAccess,
+    ensure_calls_resolved,
+    resolve_calls,
+    summarize_subroutine,
+)
+from repro.frontend import parse_fortran
+from repro.ir import ArrayRef, CallStmt
+
+
+def _calls(program):
+    return [
+        stmt
+        for stmt, _ in program.walk_statements()
+        if isinstance(stmt, CallStmt)
+    ]
+
+
+class TestSummaries:
+    def test_exact_mod_ref(self):
+        program = parse_fortran(
+            "SUBROUTINE UPD(X, Y, J)\n"
+            "REAL X(0:9), Y(0:9)\nINTEGER J\n"
+            "X(J) = Y(J+1) * 2\n"
+            "END\n"
+        )
+        summary = summarize_subroutine(program.subroutines["UPD"])
+        assert summary.exact
+        assert summary.mod == frozenset({"X"})
+        assert "Y" in summary.ref and "J" in summary.ref
+        writes = [a for a in summary.accesses if a.is_write]
+        reads = [a for a in summary.accesses if not a.is_write]
+        assert writes[0].formal == "X" and writes[0].subscripts is not None
+        assert reads[0].formal == "Y" and reads[0].subscripts is not None
+
+    def test_callee_loop_variable_goes_opaque(self):
+        program = parse_fortran(
+            "SUBROUTINE FILL(X, N)\n"
+            "REAL X(0:9)\nINTEGER N\n"
+            "DO k = 0, 8\nX(k) = N\nENDDO\n"
+            "END\n"
+        )
+        summary = summarize_subroutine(program.subroutines["FILL"])
+        assert summary.exact
+        write = [a for a in summary.accesses if a.is_write][0]
+        assert write.subscripts is None  # k is callee-local
+
+    def test_mutated_scalar_formal_degrades_its_accesses(self):
+        program = parse_fortran(
+            "SUBROUTINE BUMP(X, J)\n"
+            "REAL X(0:9)\nINTEGER J\n"
+            "J = J + 1\n"
+            "X(J) = 0\n"
+            "END\n"
+        )
+        summary = summarize_subroutine(program.subroutines["BUMP"])
+        assert "J" in summary.mod
+        write = [a for a in summary.accesses if a.is_write][0]
+        assert write.subscripts is None
+
+    def test_nested_call_defeats_summary(self):
+        program = parse_fortran(
+            "SUBROUTINE OUTER(X, J)\n"
+            "REAL X(0:9)\nINTEGER J\n"
+            "CALL INNER(X, J)\n"
+            "END\n"
+        )
+        summary = summarize_subroutine(program.subroutines["OUTER"])
+        assert not summary.exact
+        assert summary.mod == frozenset({"X", "J"})
+        assert all(a.subscripts is None for a in summary.accesses)
+        assert any(a.is_write for a in summary.accesses)
+        assert any(not a.is_write for a in summary.accesses)
+
+
+class TestResolution:
+    def test_exact_translation(self):
+        program = parse_fortran(
+            "REAL A(0:99), B(0:99)\n"
+            "DO 1 I = 0, 98\n"
+            "1 CALL UPD(A, B, I)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, Y, J)\n"
+            "REAL X(0:99), Y(0:99)\nINTEGER J\n"
+            "X(J) = Y(J+1) * 2\n"
+            "END\n"
+        )
+        diags = resolve_calls(program)
+        assert diags == []
+        (call,) = _calls(program)
+        refs = dict()
+        for ref, is_write in call.resolved_refs:
+            refs[(ref.array, is_write)] = ref
+        assert ("A", True) in refs
+        assert ("B", False) in refs
+        assert str(refs[("B", False)].subscripts[0]) in ("I+1", "1+I")
+
+    def test_element_base_actual_shifts(self):
+        program = parse_fortran(
+            "REAL A(0:99)\n"
+            "DO 1 I = 0, 40\n"
+            "1 CALL UPD(A(50), I)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, J)\n"
+            "REAL X(0:49)\nINTEGER J\n"
+            "X(J) = X(J) + 1\n"
+            "END\n"
+        )
+        resolve_calls(program)
+        (call,) = _calls(program)
+        writes = [r for r, w in call.resolved_refs if w]
+        assert writes[0].array == "A"
+        # X(J) over CALL UPD(A(50), I) is A(50 + J - 0) = A(50 + I).
+        names = writes[0].subscripts[0].names()
+        assert names == {"I"}
+        text = str(writes[0].subscripts[0])
+        assert "50" in text
+
+    def test_unknown_callee_conservative(self):
+        program = parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nCALL MYSTERY(A, i)\nENDDO\n"
+        )
+        diags = resolve_calls(program)
+        assert [d.code for d in diags] == ["RS003"]
+        (call,) = _calls(program)
+        assert call.resolved_refs is not None
+        kinds = {(r.array, w) for r, w in call.resolved_refs}
+        assert ("A", True) in kinds and ("A", False) in kinds
+
+    def test_arity_mismatch_conservative(self):
+        program = parse_fortran(
+            "REAL A(0:9)\n"
+            "CALL UPD(A)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, J)\n"
+            "REAL X(0:9)\nINTEGER J\n"
+            "X(J) = 0\n"
+            "END\n"
+        )
+        diags = resolve_calls(program)
+        assert [d.code for d in diags] == ["RS003"]
+        assert "arity" in diags[0].message
+
+    def test_inexact_translation_reports_al002(self):
+        program = parse_fortran(
+            "REAL A(0:9)\n"
+            "CALL FILL(A, 3)\n"
+            "END\n"
+            "SUBROUTINE FILL(X, N)\n"
+            "REAL X(0:9)\nINTEGER N\n"
+            "DO k = 0, 8\nX(k) = N\nENDDO\n"
+            "END\n"
+        )
+        diags = resolve_calls(program)
+        assert "AL002" in [d.code for d in diags]
+        (call,) = _calls(program)
+        opaque = [r for r, _ in call.resolved_refs]
+        # The whole-array reference has no linear form.
+        from repro.ir import to_linexpr
+
+        assert all(
+            to_linexpr(sub, set()) is None
+            for ref in opaque
+            for sub in ref.subscripts
+        )
+
+    def test_ensure_calls_resolved_idempotent(self):
+        program = parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nCALL MYSTERY(A, i)\nENDDO\n"
+        )
+        first = ensure_calls_resolved(program)
+        assert [d.code for d in first] == ["RS003"]
+        (call,) = _calls(program)
+        marker = call.resolved_refs
+        second = ensure_calls_resolved(program)
+        assert second == []
+        assert call.resolved_refs is marker
+
+
+class TestAliasFindings:
+    def test_same_array_twice_al001(self):
+        program = parse_fortran(
+            "REAL A(0:99)\n"
+            "DO 1 I = 0, 98\n"
+            "1 CALL UPD(A, A, I)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, Y, J)\n"
+            "REAL X(0:99), Y(0:99)\nINTEGER J\n"
+            "X(J) = Y(J+1) * 2\n"
+            "END\n"
+        )
+        diags = resolve_calls(program)
+        assert [d.code for d in diags] == ["AL001"]
+        assert "X" in diags[0].message and "Y" in diags[0].message
+
+    def test_equivalenced_arrays_al001(self):
+        program = parse_fortran(
+            "REAL A(0:99)\nREAL B(0:99)\n"
+            "EQUIVALENCE (A, B)\n"
+            "DO 1 I = 0, 98\n"
+            "1 CALL UPD(A, B, I)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, Y, J)\n"
+            "REAL X(0:99), Y(0:99)\nINTEGER J\n"
+            "X(J) = Y(J+1) * 2\n"
+            "END\n"
+        )
+        diags = resolve_calls(program)
+        assert any(d.code == "AL001" for d in diags)
+        assert any("EQUIVALENCE" in d.message for d in diags)
+
+    def test_distinct_arrays_no_al001(self):
+        program = parse_fortran(
+            "REAL A(0:99), B(0:99)\n"
+            "DO 1 I = 0, 98\n"
+            "1 CALL UPD(A, B, I)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, Y, J)\n"
+            "REAL X(0:99), Y(0:99)\nINTEGER J\n"
+            "X(J) = Y(J+1) * 2\n"
+            "END\n"
+        )
+        assert resolve_calls(program) == []
+
+    def test_read_only_alias_not_flagged(self):
+        program = parse_fortran(
+            "REAL A(0:99), B(0:99)\n"
+            "DO 1 I = 0, 98\n"
+            "1 CALL RD(A, A, I)\n"
+            "END\n"
+            "SUBROUTINE RD(X, Y, J)\n"
+            "REAL X(0:99), Y(0:99)\nINTEGER J\n"
+            "Q = X(J) + Y(J)\n"
+            "END\n"
+        )
+        diags = resolve_calls(program)
+        assert all(d.code != "AL001" for d in diags)

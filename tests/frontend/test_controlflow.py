@@ -1,0 +1,236 @@
+"""Frontend coverage for structured IF/ELSE, CALL, and SUBROUTINE."""
+
+import pytest
+
+from repro.frontend import parse_c, parse_fortran
+from repro.frontend.errors import ParseError, ParseErrorGroup
+from repro.ir import (
+    Assignment,
+    CallStmt,
+    Compare,
+    If,
+    Loop,
+    Name,
+    Subroutine,
+    format_program,
+)
+from repro.lint.engine import lint_source
+
+
+class TestFortranIf:
+    def test_if_else_block(self):
+        program = parse_fortran(
+            "REAL A(0:9)\n"
+            "DO i = 0, 8\n"
+            "IF (i > 2) THEN\n"
+            "A(i) = 1\n"
+            "ELSE\n"
+            "A(i) = 2\n"
+            "ENDIF\n"
+            "ENDDO\n"
+        )
+        loop = program.body[0]
+        assert isinstance(loop, Loop)
+        branch = loop.body[0]
+        assert isinstance(branch, If)
+        assert isinstance(branch.cond, Compare)
+        assert branch.cond.op == ">"
+        assert len(branch.then_body) == 1
+        assert len(branch.else_body) == 1
+
+    def test_if_without_else(self):
+        program = parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nIF (i <= 4) THEN\nA(i) = 1\n"
+            "ENDIF\nENDDO\n"
+        )
+        branch = program.body[0].body[0]
+        assert isinstance(branch, If)
+        assert branch.else_body == []
+
+    def test_one_line_if(self):
+        program = parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nIF (i > 2) A(i) = 1\nENDDO\n"
+        )
+        branch = program.body[0].body[0]
+        assert isinstance(branch, If)
+        assert len(branch.then_body) == 1
+        assert branch.else_body == []
+
+    @pytest.mark.parametrize(
+        "text,op",
+        [("i < 4", "<"), ("i <= 4", "<="), ("i > 4", ">"),
+         ("i >= 4", ">="), ("i == 4", "=="), ("i /= 4", "!=")],
+    )
+    def test_relational_operators(self, text, op):
+        program = parse_fortran(
+            f"REAL A(0:9)\nDO i = 0, 8\nIF ({text}) A(i) = 1\nENDDO\n"
+        )
+        branch = program.body[0].body[0]
+        assert branch.cond.op == op
+
+    def test_nested_if(self):
+        program = parse_fortran(
+            "REAL A(0:9)\n"
+            "DO i = 0, 8\n"
+            "IF (i > 2) THEN\n"
+            "IF (i < 6) THEN\n"
+            "A(i) = 1\n"
+            "ENDIF\n"
+            "ENDIF\n"
+            "ENDDO\n"
+        )
+        outer = program.body[0].body[0]
+        assert isinstance(outer, If)
+        assert isinstance(outer.then_body[0], If)
+
+    def test_labeled_continue_closes_shared_do(self):
+        program = parse_fortran(
+            "REAL A(0:99)\n"
+            "DO 1 i = 0, 8\n"
+            "DO 1 j = 0, 8\n"
+            "IF (i > j) THEN\n"
+            "A(i+10*j) = 1\n"
+            "ENDIF\n"
+            "1 CONTINUE\n"
+        )
+        outer = program.body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, Loop)
+        assert isinstance(inner.body[0], If)
+
+
+class TestFortranCall:
+    def test_call_statement(self):
+        program = parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nCALL UPD(A, i)\nENDDO\n"
+        )
+        call = program.body[0].body[0]
+        assert isinstance(call, CallStmt)
+        assert call.name == "UPD"
+        assert len(call.args) == 2
+        assert call.resolved_refs is None
+
+    def test_subroutine_definition(self):
+        program = parse_fortran(
+            "REAL A(0:9)\n"
+            "CALL UPD(A, 3)\n"
+            "END\n"
+            "SUBROUTINE UPD(X, J)\n"
+            "REAL X(0:9)\n"
+            "INTEGER J\n"
+            "X(J) = X(J) + 1\n"
+            "END\n"
+        )
+        assert "UPD" in program.subroutines
+        sub = program.subroutines["UPD"]
+        assert isinstance(sub, Subroutine)
+        assert sub.params == ("X", "J")
+        assert isinstance(sub.body[0], Assignment)
+
+    def test_roundtrip_if_and_call(self):
+        source = (
+            "REAL A(0:99)\n"
+            "DO 1 I = 0, 98\n"
+            "IF (I < 50) THEN\n"
+            "A(I) = A(I+1) + 1\n"
+            "ELSE\n"
+            "A(I) = 0\n"
+            "ENDIF\n"
+            "CALL UPD(A, I)\n"
+            "1 CONTINUE\n"
+            "END\n"
+            "SUBROUTINE UPD(X, J)\n"
+            "REAL X(0:99)\n"
+            "INTEGER J\n"
+            "X(J) = X(J) * 2\n"
+            "END\n"
+        )
+        first = format_program(parse_fortran(source))
+        second = format_program(parse_fortran(first))
+        assert first == second
+
+
+class TestCControlFlow:
+    def test_if_else(self):
+        program, _ = parse_c(
+            "int i; float a[10];\n"
+            "for (i = 0; i < 9; i++) {\n"
+            "  if (i > 2) { a[i] = 1; } else { a[i] = 2; }\n"
+            "}\n"
+        )
+        branch = program.body[0].body[0]
+        assert isinstance(branch, If)
+        assert branch.cond.op == ">"
+        assert len(branch.then_body) == 1
+        assert len(branch.else_body) == 1
+
+    def test_function_definition_and_call(self):
+        program, _ = parse_c(
+            "int i; float a[10];\n"
+            "void upd(float x[10], int j) { x[j] = x[j] + 1; }\n"
+            "for (i = 0; i < 9; i++) { upd(a, i); }\n"
+        )
+        assert "upd" in program.subroutines
+        call = program.body[0].body[0]
+        assert isinstance(call, CallStmt)
+        assert call.name == "upd"
+
+
+class TestRecovery:
+    MALFORMED = (
+        "REAL A(0:9)\n"
+        "DO i = 0, 8\n"
+        "IF (i > 2 THEN\n"
+        "A(i) = 1\n"
+        "ELSE\n"
+        "A(i) = 2\n"
+        "ENDIF\n"
+        "ENDDO\n"
+    )
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ParseError):
+            parse_fortran(self.MALFORMED)
+
+    def test_recover_collects_spanned_errors(self):
+        with pytest.raises(ParseErrorGroup) as excinfo:
+            parse_fortran(self.MALFORMED, recover=True)
+        group = excinfo.value
+        assert group.errors
+        for error in group.errors:
+            assert error.span is not None
+
+    def test_recover_from_bad_call(self):
+        with pytest.raises(ParseErrorGroup) as excinfo:
+            parse_fortran(
+                "REAL A(0:9)\nDO i = 0, 8\nCALL UPD(A,\nA(i) = 1\nENDDO\n",
+                recover=True,
+            )
+        assert excinfo.value.errors
+
+    def test_lint_survives_malformed_if(self):
+        report = lint_source(self.MALFORMED)
+        dl001 = [d for d in report.diagnostics if d.code == "DL001"]
+        assert dl001, "expected at least one DL001"
+        assert any(d.code == "RS004" for d in report.diagnostics)
+        # One DL001 per recovered error, each carrying a span.
+        for diag in dl001:
+            assert diag.span is not None
+        # The DL001 count matches the recovered error group exactly.
+        with pytest.raises(ParseErrorGroup) as excinfo:
+            parse_fortran(self.MALFORMED, recover=True)
+        assert len(dl001) == len(excinfo.value.errors)
+
+    def test_lint_reports_every_error_once(self):
+        source = (
+            "REAL A(0:9)\n"
+            "IF (1 > THEN\n"
+            "A(1) = 1\n"
+            "ENDIF\n"
+            "CALL UPD(\n"
+        )
+        report = lint_source(source)
+        dl001 = [d for d in report.diagnostics if d.code == "DL001"]
+        assert len(dl001) >= 2
+        spans = [(d.span.line, d.span.column) for d in dl001]
+        assert len(set(spans)) == len(spans)

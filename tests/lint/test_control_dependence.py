@@ -1,0 +1,170 @@
+"""Postdominators, the control-dependence relation, and the CD checks."""
+
+from repro.frontend import parse_fortran
+from repro.lint.dataflow import (
+    build_cfg,
+    check_control_dependent_mutation,
+    control_dependences,
+    postdominators,
+    run_dataflow_checks,
+)
+
+
+def _node(cfg, kind, index=0):
+    matches = [n for n in cfg.nodes if n.kind == kind]
+    return matches[index]
+
+
+class TestCfgShape:
+    def test_branch_node_two_successors(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nIF (i > 2) THEN\nA(i) = 1\n"
+            "ELSE\nA(i) = 2\nENDIF\nENDDO\n"
+        ))
+        branch = _node(cfg, "branch")
+        assert len(branch.succs) == 2
+
+    def test_empty_else_falls_through(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nIF (i > 2) THEN\nA(i) = 1\nENDIF\n"
+            "A(i) = 3\nENDDO\n"
+        ))
+        branch = _node(cfg, "branch")
+        # One successor into the arm, one skipping it.
+        assert len(branch.succs) == 2
+        then_stmt = _node(cfg, "assign", 0)
+        after = _node(cfg, "assign", 1)
+        assert then_stmt.id in branch.succs
+        assert after.id in branch.succs
+
+    def test_call_node_kind(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nCALL UPD(A, i)\nENDDO\n"
+        ))
+        assert any(n.kind == "call" for n in cfg.nodes)
+
+
+class TestPostdominators:
+    def test_every_node_postdominates_itself(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nIF (i > 2) THEN\nA(i) = 1\nENDIF\n"
+            "ENDDO\n"
+        ))
+        pdom = postdominators(cfg)
+        for node in cfg.nodes:
+            assert node.id in pdom[node.id]
+
+    def test_exit_postdominates_all(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\nA(1) = 1\nIF (1 > 0) THEN\nA(2) = 2\nENDIF\n"
+        ))
+        pdom = postdominators(cfg)
+        for node in cfg.nodes:
+            assert cfg.exit.id in pdom[node.id]
+
+    def test_join_postdominates_branch_but_arm_does_not(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\n"
+            "IF (1 > 0) THEN\nA(1) = 1\nELSE\nA(2) = 2\nENDIF\n"
+            "A(3) = 3\n"
+        ))
+        pdom = postdominators(cfg)
+        branch = _node(cfg, "branch")
+        arm = _node(cfg, "assign", 0)
+        join = _node(cfg, "assign", 2)  # A(3) = 3
+        assert join.id in pdom[branch.id]
+        assert arm.id not in pdom[branch.id]
+
+
+class TestControlDependence:
+    SOURCE = (
+        "REAL A(0:9)\n"
+        "IF (1 > 0) THEN\nA(1) = 1\nELSE\nA(2) = 2\nENDIF\n"
+        "A(3) = 3\n"
+    )
+
+    def test_arms_depend_on_branch(self):
+        cfg = build_cfg(parse_fortran(self.SOURCE))
+        deps = control_dependences(cfg)
+        branch = _node(cfg, "branch")
+        then_stmt = _node(cfg, "assign", 0)
+        else_stmt = _node(cfg, "assign", 1)
+        assert branch.id in deps[then_stmt.id]
+        assert branch.id in deps[else_stmt.id]
+
+    def test_join_does_not_depend_on_branch(self):
+        cfg = build_cfg(parse_fortran(self.SOURCE))
+        deps = control_dependences(cfg)
+        branch = _node(cfg, "branch")
+        join = _node(cfg, "assign", 2)
+        assert branch.id not in deps[join.id]
+
+    def test_loop_body_depends_on_header(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\nDO i = 0, 8\nA(i) = 1\nENDDO\n"
+        ))
+        deps = control_dependences(cfg)
+        header = _node(cfg, "loop")
+        body = _node(cfg, "assign")
+        assert header.id in deps[body.id]
+
+    def test_nested_if_chains(self):
+        cfg = build_cfg(parse_fortran(
+            "REAL A(0:9)\n"
+            "IF (1 > 0) THEN\n"
+            "IF (2 > 1) THEN\nA(1) = 1\nENDIF\n"
+            "ENDIF\n"
+        ))
+        deps = control_dependences(cfg)
+        outer = _node(cfg, "branch", 0)
+        inner = _node(cfg, "branch", 1)
+        stmt = _node(cfg, "assign")
+        assert inner.id in deps[stmt.id]
+        assert outer.id in deps[inner.id]
+
+
+class TestCd002:
+    GUARDED = (
+        "REAL B(0:99)\n"
+        "INTEGER K\n"
+        "K = 0\n"
+        "DO 1 I = 0, 98\n"
+        "IF (I > 10) THEN\n"
+        "B(K) = B(K) + 1\n"
+        "K = K + 1\n"
+        "ENDIF\n"
+        "1 CONTINUE\n"
+    )
+
+    def test_guarded_subscript_feeder_flagged(self):
+        diags = check_control_dependent_mutation(
+            parse_fortran(self.GUARDED)
+        )
+        assert [d.code for d in diags] == ["CD002"]
+        assert "K" in diags[0].message
+
+    def test_unguarded_mutation_not_flagged(self):
+        source = (
+            "REAL B(0:99)\nINTEGER K\nK = 0\nDO 1 I = 0, 98\n"
+            "B(K) = B(K) + 1\nK = K + 1\n1 CONTINUE\n"
+        )
+        assert check_control_dependent_mutation(parse_fortran(source)) == []
+
+    def test_guarded_nonsubscript_scalar_not_flagged(self):
+        source = (
+            "REAL B(0:99)\nINTEGER T\nT = 0\nDO 1 I = 0, 98\n"
+            "IF (I > 10) THEN\nT = T + 1\nB(I) = T\nENDIF\n1 CONTINUE\n"
+        )
+        assert check_control_dependent_mutation(parse_fortran(source)) == []
+
+    def test_guard_outside_loop_not_flagged(self):
+        source = (
+            "REAL B(0:99)\nINTEGER K\n"
+            "IF (1 > 0) THEN\nK = 5\nENDIF\n"
+            "DO 1 I = 0, 98\n1 B(K) = B(K) + 1\n"
+        )
+        assert check_control_dependent_mutation(parse_fortran(source)) == []
+
+    def test_cd002_runs_in_dataflow_suite(self):
+        diags = run_dataflow_checks(parse_fortran(self.GUARDED))
+        assert any(d.code == "CD002" for d in diags)

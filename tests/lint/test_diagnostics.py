@@ -18,7 +18,7 @@ class TestRegistry:
 
     def test_prefix_families(self):
         prefixes = {info.code[:2] for info in all_codes()}
-        assert prefixes == {"DL", "DF", "DB", "DS", "VR", "RS"}
+        assert prefixes == {"DL", "DF", "DB", "DS", "VR", "RS", "CD", "AL"}
 
     def test_soundness_codes_are_errors(self):
         for info in all_codes():

@@ -90,3 +90,65 @@ class TestLibraryDeterminism:
         assert keys == sorted(keys)
         assert first.output == second.output
         assert first.summary() == second.summary()
+
+
+CONTROL_SOURCE = (
+    "REAL A(0:99), B(0:99)\n"
+    "DO 1 I = 0, 98\n"
+    "IF (I < 50) THEN\n"
+    "A(I) = A(I+1) + 1\n"
+    "ENDIF\n"
+    "CALL UPD(B, A, I)\n"
+    "1 CONTINUE\n"
+    "END\n"
+    "SUBROUTINE UPD(X, Y, J)\n"
+    "REAL X(0:99), Y(0:99)\n"
+    "INTEGER J\n"
+    "X(J) = Y(J) * 2\n"
+    "END\n"
+)
+
+
+@pytest.fixture
+def control_file(tmp_path):
+    path = tmp_path / "ctl.f"
+    path.write_text(CONTROL_SOURCE)
+    return path
+
+
+class TestControlFlowDeterminism:
+    """IF/CALL programs keep the same determinism guarantees under faults:
+    guarded edges and interprocedural summaries are derived from program
+    structure, so degraded runs stay byte-identical per seed."""
+
+    def test_lint_json_is_byte_identical(self, control_file, capsys):
+        first = _lint_json(control_file, capsys, extra=["--schedule"])
+        second = _lint_json(control_file, capsys, extra=["--schedule"])
+        assert first == second
+
+    def test_jobs_do_not_change_lint_json(self, control_file, capsys):
+        # Chaos forced off (rate 0, overriding any REPRO_CHAOS_* env):
+        # worker processes keep their own fault counters, so only the
+        # fault-free pipeline promises jobs-count invariance.
+        outs = []
+        for jobs in ("1", "2"):
+            code = main(
+                [
+                    "lint", str(control_file), "--format", "json",
+                    "--jobs", jobs, "--chaos-seed", "1", "--chaos-rate", "0",
+                ]
+            )
+            outs.append((code, capsys.readouterr().out))
+        assert outs[0] == outs[1]
+
+    def test_compile_report_stable(self):
+        reports = []
+        for _ in range(2):
+            with chaos(11, rate=0.5):
+                reports.append(compile_fortran(CONTROL_SOURCE, audit=True))
+        first, second = reports
+        assert [str(d) for d in first.degradations] == [
+            str(d) for d in second.degradations
+        ]
+        assert first.output == second.output
+        assert first.summary() == second.summary()
