@@ -1,0 +1,65 @@
+"""CI smoke for `repro serve`: kill a worker mid-session, demand a clean finish.
+
+Starts the daemon on a Unix socket, runs a mixed lint/vectorize burst,
+SIGKILLs a live worker taken from `health`, and asserts the daemon heals
+(the next requests are answered undegraded), drains on `shutdown`, and
+exits 0.  Run with `PYTHONPATH=src python scripts/serve_smoke.py` (or an
+installed package).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.server.client import ServeClient
+
+SOURCE = (
+    "REAL F(0:99), G(0:99)\n"
+    "DO 1 i = 0, 90\n"
+    "F(i+2) = F(i) + 3\n"
+    "1 G(i) = G(i+1) + F(i)\n"
+)
+
+sock = os.path.join(tempfile.mkdtemp(), "repro.sock")
+daemon = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--socket", sock, "--workers", "2"]
+)
+try:
+    for _ in range(200):
+        if os.path.exists(sock):
+            break
+        time.sleep(0.05)
+    client = ServeClient.connect_unix(sock)
+    client.result("open", {"uri": "smoke.f", "text": SOURCE})
+
+    # Mixed burst: every answer must be clean, not degraded.
+    for _ in range(2):
+        for method in ("lint", "vectorize"):
+            result = client.result(method, {"uri": "smoke.f"})
+            assert not result["degraded"], (method, result)
+
+    # SIGKILL a live worker; the daemon must respawn it and keep answering.
+    health = client.result("health")
+    pid = next(w["pid"] for w in health["workers"] if w["alive"])
+    os.kill(pid, signal.SIGKILL)
+    time.sleep(0.5)
+    client.result(
+        "didChange", {"uri": "smoke.f", "text": SOURCE.replace("+ 3", "+ 4")}
+    )
+    result = client.result("lint", {"uri": "smoke.f"})
+    assert not result["degraded"], result
+
+    final = client.result("shutdown")
+    counters = final["counters"]
+    served = counters["responses_ok"] + counters.get("replayed_responses", 0)
+    assert served >= 5, final
+    assert counters.get("replayed_pairs", 0) > 0, final
+    client.close()
+    assert daemon.wait(timeout=30) == 0, "daemon exited non-zero"
+finally:
+    if daemon.poll() is None:
+        daemon.kill()
+print("serve smoke ok: worker killed, daemon healed, clean shutdown")

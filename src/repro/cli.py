@@ -13,7 +13,10 @@ Commands:
 * ``delinearize``      — run the algorithm on one dependence equation given
   with ``--equation`` and ``--bounds`` (prints the Figure-5 style trace);
 * ``compare``          — run every dependence test on one equation;
-* ``riceps``           — regenerate the paper's Figure-1 census table.
+* ``riceps``           — regenerate the paper's Figure-1 census table;
+* ``serve``            — the resident analysis daemon: JSON-lines protocol
+  over stdio or a Unix socket, supervised worker pool, per-request
+  deadlines, incremental re-analysis (see ``docs/SERVICE.md``).
 
 The source language is inferred from the file extension (.c vs anything
 else) and can be forced with ``--lang``.
@@ -195,6 +198,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.1, help="program size scale factor"
     )
     riceps.set_defaults(handler=_cmd_riceps)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident analysis daemon (JSON lines over stdio "
+        "or a Unix socket; see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix socket instead of stdio",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="supervised analysis worker processes (default: 1)",
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission-control queue bound; requests beyond it are shed "
+        "with an 'overloaded' response (default: 16)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request wall-clock deadline; a slow request returns a "
+        "conservative RS006-degraded answer (default: 30)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persistent canonical-problem cache shared by the workers "
+        "(flock-guarded, corruption-tolerant)",
+    )
+    serve.add_argument(
+        "--strict",
+        action="store_true",
+        help="workers re-raise internal analysis errors (reported as "
+        "degraded responses) instead of degrading in-pipeline",
+    )
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministic fault injection across server and workers "
+        "(testing knob; see also REPRO_CHAOS_SEED)",
+    )
+    serve.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fault probability per injection-site hit (default "
+        f"{DEFAULT_RATE}; only with --chaos-seed)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -527,6 +597,26 @@ def _cmd_lint(args) -> int:
             summary += f", {audited} dependence edge(s) audited"
         print(summary)
     return 2 if any(r.fails(werror=args.werror) for _, r in reports) else 0
+
+
+def _cmd_serve(args) -> int:
+    from .core.chaos import active_state
+    from .server import AnalysisServer, ServerConfig
+
+    config = ServerConfig(
+        workers=args.workers,
+        queue_size=args.queue,
+        deadline_seconds=args.deadline,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        strict=args.strict,
+    )
+    # main() already installed the chaos state (flags or environment); the
+    # server also forwards its parameters into every worker job so faults
+    # stay deterministic per request across worker restarts.
+    server = AnalysisServer(config, chaos=active_state())
+    if args.socket is not None:
+        return server.serve_unix(str(args.socket))
+    return server.serve_stdio()
 
 
 def _cmd_census(args) -> int:

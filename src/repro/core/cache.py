@@ -36,9 +36,15 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
+
+try:  # POSIX only; on other platforms the cache runs lock-free.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from . import chaos
 from .canon import CachedOutcome, CanonKey, canonicalize, outcome_to_result, result_to_outcome
@@ -62,10 +68,22 @@ class CacheStats:
     evictions: int = 0
     stores: int = 0
     loaded: int = 0  # entries read from the persistent file
+    #: Persistent files found truncated, unpicklable or wrong-schema and
+    #: quarantined (deleted) so they can never poison a later load.
+    corrupt: int = 0
+    #: Lock acquisitions that failed (I/O error or injected fault); the
+    #: operation degraded to a cold cache / skipped save, never an exception.
+    lock_faults: int = 0
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(
-            self.hits, self.misses, self.evictions, self.stores, self.loaded
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.stores,
+            self.loaded,
+            self.corrupt,
+            self.lock_faults,
         )
 
 
@@ -122,16 +140,37 @@ class ProblemCache:
     # -- persistence -------------------------------------------------------
 
     def load_disk(self, cache_dir: str | os.PathLike) -> int:
-        """Warm the cache from ``cache_dir``; returns entries loaded."""
+        """Warm the cache from ``cache_dir``; returns entries loaded.
+
+        A truncated, unpicklable, or wrong-schema file is *quarantined*: it
+        is deleted, counted in ``stats.corrupt``, and the load proceeds as a
+        cold cache — never an exception.  The read happens under the
+        directory's advisory lock so a concurrent writer's rename cannot be
+        observed half-done on filesystems without atomic replace semantics.
+        """
         path = persistent_path(cache_dir)
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            with _cache_lock(path):
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+        except FileNotFoundError:
             return 0
-        if not isinstance(payload, dict) or payload.get("version") != PICKLE_VERSION:
+        except _LockFault:
+            self.stats.lock_faults += 1
             return 0
-        entries = payload.get("entries", {})
+        except Exception:  # noqa: BLE001 — any corruption means cold cache
+            self.stats.corrupt += 1
+            _quarantine(path)
+            return 0
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != PICKLE_VERSION
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            self.stats.corrupt += 1
+            _quarantine(path)
+            return 0
+        entries = payload["entries"]
         for key, entry in entries.items():
             if key not in self._data:
                 self._data[key] = entry
@@ -145,32 +184,94 @@ class ProblemCache:
         """Persist the current entries; returns entries written.
 
         Merges with whatever is already on disk (concurrent runs lose
-        nothing) and writes atomically via rename.
+        nothing) and writes atomically via rename.  The read-merge-write
+        cycle runs under an advisory ``flock`` on a sibling lock file, so
+        two servers — or a server and a CLI run — sharing one
+        ``--cache-dir`` cannot interleave their merges; a writer killed
+        mid-write leaves only a stale temp file, never a torn cache.  A
+        lock acquisition failure skips the save (counted, sound) rather
+        than raising.
         """
         directory = Path(cache_dir)
         directory.mkdir(parents=True, exist_ok=True)
         path = persistent_path(directory)
-        entries: dict[CanonKey, CachedOutcome] = {}
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            if isinstance(payload, dict) and payload.get("version") == PICKLE_VERSION:
-                entries.update(payload.get("entries", {}))
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            pass
-        entries.update(self._data)
-        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".depcache-")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump({"version": PICKLE_VERSION, "entries": entries}, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            with _cache_lock(path):
+                entries: dict[CanonKey, CachedOutcome] = {}
+                try:
+                    with open(path, "rb") as fh:
+                        payload = pickle.load(fh)
+                    if (
+                        isinstance(payload, dict)
+                        and payload.get("version") == PICKLE_VERSION
+                        and isinstance(payload.get("entries"), dict)
+                    ):
+                        entries.update(payload["entries"])
+                except FileNotFoundError:
+                    pass
+                except Exception:  # noqa: BLE001 — overwrite the bad file
+                    self.stats.corrupt += 1
+                entries.update(self._data)
+                fd, tmp = tempfile.mkstemp(dir=directory, prefix=".depcache-")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(
+                            {"version": PICKLE_VERSION, "entries": entries}, fh
+                        )
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        except _LockFault:
+            self.stats.lock_faults += 1
+            return 0
         return len(entries)
+
+
+class _LockFault(Exception):
+    """The advisory lock could not be taken (I/O error or injected fault)."""
+
+
+@contextmanager
+def _cache_lock(path: Path):
+    """Advisory exclusive lock guarding one persistent cache file.
+
+    Taken on a sibling ``.lock`` file (never the data file itself, which is
+    replaced by rename).  Raises :class:`_LockFault` when the lock cannot be
+    acquired — callers degrade to a cold cache / skipped save.  On platforms
+    without ``fcntl`` the guard is a no-op beyond the chaos site.
+    """
+    try:
+        chaos.chaos_point("server.cache_lock")
+    except chaos.ChaosError as error:
+        raise _LockFault(str(error)) from error
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    try:
+        fh = open(lock_path, "a+b")
+    except OSError as error:
+        raise _LockFault(str(error)) from error
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            fh.close()
+
+
+def _quarantine(path: Path) -> None:
+    """Delete a corrupt persistent file so it can never poison a load."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 # -- schema hash -----------------------------------------------------------

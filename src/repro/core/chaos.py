@@ -42,6 +42,10 @@ SITES: dict[str, str] = {
     "depgraph.pair": "per-pair analysis (depgraph/builder.py)",
     "vectorize.codegen": "vectorize entry (vectorizer/allen_kennedy.py)",
     "schedule.verify": "verify_schedule entry (lint/schedule.py)",
+    "server.spawn": "analysis-worker spawn (server/supervisor.py)",
+    "server.dispatch": "request dispatch to a worker (server/daemon.py)",
+    "server.cache_lock": "persistent-cache lock acquisition (core/cache.py)",
+    "server.invalidate": "incremental invalidation (server/incremental.py)",
 }
 
 #: Environment variables honoured by :func:`state_from_env`.

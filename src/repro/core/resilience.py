@@ -74,6 +74,7 @@ class Budget:
         "limit",
         "remaining",
         "deadline",
+        "deadline_hit",
         "clock",
         "max_depth",
         "depth",
@@ -93,11 +94,25 @@ class Budget:
         max_depth: int | None = None,
         label: str = "",
         clock: Callable[[], float] = time.monotonic,
+        deadline: float | None = None,
     ):
         self.limit = steps
         self.remaining: float = math.inf if steps is None else steps
         self.clock = clock
+        # ``seconds`` is relative to now; ``deadline`` is an absolute
+        # ``clock()`` instant (the form a server request propagates into
+        # every pair budget it spawns).  Both given: the earlier one wins.
         self.deadline = None if seconds is None else clock() + seconds
+        if deadline is not None:
+            self.deadline = (
+                deadline
+                if self.deadline is None
+                else min(self.deadline, deadline)
+            )
+        #: True when exhaustion was caused by the wall clock rather than the
+        #: step allowance — servers report it as RS006 (deadline exceeded)
+        #: instead of the generic RS002.
+        self.deadline_hit = False
         self.max_depth = max_depth
         self.depth = 0
         self.exhausted = False
@@ -116,6 +131,7 @@ class Budget:
                 and self.clock() > self.deadline
             ):
                 self.exhausted = True
+                self.deadline_hit = True
                 return False
         if self.remaining > 0 and (
             self.max_depth is None or self.depth < self.max_depth

@@ -24,6 +24,7 @@ Classification conventions (paper Section 2, classic orientation):
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -32,7 +33,7 @@ from ..analysis.interproc import ensure_calls_resolved
 from ..analysis.normalize import normalize_program, rectangular_bounds
 from ..analysis.refpairs import build_pair_problem
 from ..core.cache import ProblemCache, cached_delinearize, default_cache
-from ..core.chaos import chaos_point
+from ..core.chaos import active_state, chaos_point
 from ..core.delinearize import DelinearizationResult
 from ..core.resilience import DEFAULT_PAIR_BUDGET, Barrier, Budget
 from ..deptests.problem import Verdict
@@ -250,6 +251,13 @@ class PairOutcome:
     #: Delinearization verdict value, ``"unbuildable"`` when no problem
     #: could be formed, or ``"degraded"`` after a barrier fallback.
     verdict: str = "unbuildable"
+    #: True when this outcome may be replayed for an identical pair
+    #: fingerprint (see :func:`pair_fingerprint`): the evaluation finished
+    #: clean — no degradations and no budget/deadline exhaustion.  Degraded
+    #: or deadline-cut outcomes must never be replayed: a later run with
+    #: more time could do better, and replaying them would freeze a
+    #: transient fault into the incremental state.
+    reusable: bool = False
 
 
 def reference_pairs(
@@ -277,6 +285,115 @@ def reference_pairs(
     return pairs
 
 
+def assumptions_fingerprint(assumptions: Assumptions) -> str:
+    """Stable digest of an assumption set, for pair fingerprints."""
+    digest = hashlib.sha256()
+    for symbol, lower, upper in assumptions.items():
+        digest.update(f"{symbol}:{lower}:{upper};".encode())
+    return digest.hexdigest()
+
+
+def bounds_fingerprint(bounds: dict[str, Poly]) -> str:
+    """Stable digest of a rectangular-bounds map, for pair fingerprints."""
+    digest = hashlib.sha256()
+    for var in sorted(bounds):
+        digest.update(f"{var}<={bounds[var]};".encode())
+    return digest.hexdigest()
+
+
+def _identity_indices(chains: list[list]) -> list[list[int]]:
+    """Map object *instances* across chains to small stable indices.
+
+    Guard mutual-exclusion and common-loop counting compare IR nodes by
+    identity (``a is b``), so a fingerprint built from text alone would
+    conflate two same-text IF statements (whose arms CAN co-execute) with
+    the two arms of one IF (which cannot).  Numbering first occurrences
+    across both chains preserves exactly the sharing structure.
+    """
+    ids: dict[int, int] = {}
+    out: list[list[int]] = []
+    for chain in chains:
+        row = []
+        for obj in chain:
+            key = id(obj)
+            if key not in ids:
+                ids[key] = len(ids)
+            row.append(ids[key])
+        out.append(row)
+    return out
+
+
+def pair_fingerprint(
+    first: RefContext,
+    second: RefContext,
+    order: dict[str, int],
+    *,
+    bounds_fp: str,
+    assumptions_fp: str,
+    options: str,
+) -> str:
+    """Content digest of everything one pair evaluation can observe.
+
+    Two pairs with equal fingerprints produce byte-identical
+    :class:`PairOutcome` contents (edges, audit findings, verdict), which is
+    what lets a resident server replay outcomes for untouched routines after
+    a ``didChange`` instead of re-solving them — reuse is purely
+    fingerprint-keyed, so stale state is impossible by construction (an
+    edited pair simply stops matching).  The digest covers: both statements'
+    label/text/span, the reference texts and access kinds, the full
+    enclosing-loop headers *with instance-sharing structure*, the guard
+    chains with IF-instance identity and branch, relative statement order,
+    the self-pair flag, and program-global digests of the derived bounds and
+    assumptions plus an ``options`` token for the analysis knobs.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"v1|{options}|{assumptions_fp}|{bounds_fp}|".encode()
+    )
+    digest.update(b"self|" if first is second else b"pair|")
+    position_a = order.get(first.stmt.label, 0)
+    position_b = order.get(second.stmt.label, 0)
+    relative = 0 if position_a == position_b else (
+        -1 if position_a < position_b else 1
+    )
+    digest.update(f"order={relative}|".encode())
+    loop_rows = _identity_indices([list(first.loops), list(second.loops)])
+    guard_rows = _identity_indices(
+        [[g.node for g in first.guards], [g.node for g in second.guards]]
+    )
+    for ref, loop_row, guard_row in (
+        (first, loop_rows[0], guard_rows[0]),
+        (second, loop_rows[1], guard_rows[1]),
+    ):
+        digest.update(
+            f"ref={ref.stmt.label}@{ref.stmt.span}:{ref.stmt}"
+            f":{ref.ref}:{int(ref.is_write)}|".encode()
+        )
+        for loop, ident in zip(ref.loops, loop_row):
+            digest.update(
+                f"loop#{ident}={loop}+{loop.step}@{loop.span}|".encode()
+            )
+        for guard, ident in zip(ref.guards, guard_row):
+            digest.update(f"guard#{ident}={guard}|".encode())
+    return digest.hexdigest()
+
+
+def analysis_options_token(
+    *,
+    include_input: bool,
+    audit: bool,
+    derive_bounds: bool,
+    pair_budget: int | None,
+    strict: bool,
+) -> str:
+    """The analysis-knob component of a pair fingerprint."""
+    return (
+        f"input={int(include_input)},audit={int(audit)},"
+        f"derive={int(derive_bounds)},budget={pair_budget},"
+        f"strict={int(strict)}"
+    )
+
+
 def analyze_dependences(
     program: Program,
     assumptions: Assumptions | None = None,
@@ -290,6 +407,8 @@ def analyze_dependences(
     use_cache: bool = True,
     cache: ProblemCache | None = None,
     cache_dir: str | None = None,
+    outcome_cache=None,
+    deadline: float | None = None,
 ) -> DependenceGraph:
     """Build the dependence graph of a program using delinearization.
 
@@ -325,6 +444,19 @@ def analyze_dependences(
       solves every pair from scratch.
     * ``cache_dir`` — warm the cache from (and persist it to) an on-disk
       pickle keyed by the deptest schema hash.
+
+    Server extensions (both force the serial path):
+
+    * ``outcome_cache`` — an object with ``lookup(fingerprint, index)`` and
+      ``store(fingerprint, outcome)`` (see
+      :class:`repro.server.incremental.OutcomeCache`): whole
+      :class:`PairOutcome` objects are replayed for pairs whose
+      :func:`pair_fingerprint` is unchanged since a previous build, which is
+      what makes ``didChange`` re-analysis incremental.  Bypassed entirely
+      while chaos injection is active (replay would mask injected faults).
+    * ``deadline`` — an absolute ``time.monotonic()`` instant merged into
+      every pair budget; pairs that cross it degrade with RS006 instead of
+      running long.
     """
     started = time.perf_counter()
     assumptions = assumptions or Assumptions.empty()
@@ -346,8 +478,15 @@ def analyze_dependences(
     if problem_cache is not None and cache_dir is not None:
         problem_cache.load_disk(cache_dir)
 
+    serial = jobs <= 1 or len(pairs) <= 1
+    if outcome_cache is not None or deadline is not None:
+        # Outcome replay and deadline enforcement are request-scoped server
+        # features; the daemon's workers analyze serially (jobs=1), so the
+        # parallel sharding never needs to thread them through.
+        serial = True
+        jobs = 1
     perf = GraphPerf(pairs=len(pairs), jobs=max(1, jobs))
-    if jobs > 1 and len(pairs) > 1:
+    if not serial:
         from .parallel import evaluate_pairs_parallel
 
         outcomes, perf.batches = evaluate_pairs_parallel(
@@ -366,8 +505,39 @@ def analyze_dependences(
             cache_dir=cache_dir,
         )
     else:
-        outcomes = [
-            evaluate_pair(
+        fingerprints: list[str] | None = None
+        if outcome_cache is not None and active_state() is None:
+            assumptions_fp = assumptions_fingerprint(assumptions)
+            bounds_fp = bounds_fingerprint(bounds)
+            options = analysis_options_token(
+                include_input=include_input,
+                audit=audit,
+                derive_bounds=derive_bounds,
+                pair_budget=pair_budget,
+                strict=strict,
+            )
+            fingerprints = [
+                pair_fingerprint(
+                    first,
+                    second,
+                    order,
+                    bounds_fp=bounds_fp,
+                    assumptions_fp=assumptions_fp,
+                    options=options,
+                )
+                for first, second in pairs
+            ]
+        outcomes = []
+        for index, (first, second) in enumerate(pairs):
+            fingerprint = (
+                fingerprints[index] if fingerprints is not None else None
+            )
+            if fingerprint is not None:
+                replayed = outcome_cache.lookup(fingerprint, index)
+                if replayed is not None:
+                    outcomes.append(replayed)
+                    continue
+            outcome = evaluate_pair(
                 index,
                 first,
                 second,
@@ -379,9 +549,11 @@ def analyze_dependences(
                 pair_budget=pair_budget,
                 strict=strict,
                 cache=problem_cache,
+                deadline=deadline,
             )
-            for index, (first, second) in enumerate(pairs)
-        ]
+            if fingerprint is not None:
+                outcome_cache.store(fingerprint, outcome)
+            outcomes.append(outcome)
         perf.batches = 1 if pairs else 0
 
     degradations: list[Diagnostic] = []
@@ -422,6 +594,7 @@ def evaluate_pair(
     pair_budget: int | None = DEFAULT_PAIR_BUDGET,
     strict: bool = False,
     cache: ProblemCache | None = None,
+    deadline: float | None = None,
 ) -> PairOutcome:
     """Evaluate one pair behind its own barrier and fresh budget.
 
@@ -429,6 +602,12 @@ def evaluate_pair(
     direction set can be *narrower* than the truth, and narrower is unsound.
     The assumed all-``*`` edges that replace them cover every possible
     dependence.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant shared by every
+    pair of one request: a pair that crosses it answers conservatively and
+    carries an RS006 diagnostic (the metered tests may also give up silently
+    as MAYBE — the RS006 note makes that visible and, via
+    :attr:`PairOutcome.reusable`, non-replayable).
     """
     from ..lint import codes
 
@@ -440,8 +619,10 @@ def evaluate_pair(
     )
     budget = (
         None
-        if pair_budget is None
-        else Budget(steps=pair_budget, label=f"pair {label}")
+        if pair_budget is None and deadline is None
+        else Budget(
+            steps=pair_budget, label=f"pair {label}", deadline=deadline
+        )
     )
 
     def analyze() -> None:
@@ -476,7 +657,18 @@ def evaluate_pair(
         statement=label,
         span=first.stmt.span,
     )
+    if budget is not None and budget.deadline_hit:
+        barrier.note(
+            codes.RS006,
+            "dependence pair",
+            f"deadline exceeded analyzing {label}; conservative answer used",
+            statement=label,
+            span=first.stmt.span,
+        )
     outcome.degradations = barrier.degradations
+    outcome.reusable = not outcome.degradations and (
+        budget is None or not budget.exhausted
+    )
     return outcome
 
 

@@ -210,6 +210,8 @@ def compile_fortran(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    outcome_cache=None,
+    deadline: float | None = None,
 ) -> CompilationReport:
     """Run the whole pipeline on FORTRAN source text.
 
@@ -276,6 +278,8 @@ def compile_fortran(
         jobs=jobs,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        outcome_cache=outcome_cache,
+        deadline=deadline,
     )
 
 
@@ -289,6 +293,8 @@ def compile_c(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    outcome_cache=None,
+    deadline: float | None = None,
 ) -> CompilationReport:
     """Run the whole pipeline on C source text (see :func:`compile_fortran`
     for the ``audit``, ``derive_bounds``, ``verify``, ``strict`` and
@@ -327,6 +333,8 @@ def compile_c(
         jobs=jobs,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        outcome_cache=outcome_cache,
+        deadline=deadline,
     )
 
 
@@ -345,6 +353,8 @@ def _back_half(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    outcome_cache=None,
+    deadline: float | None = None,
 ) -> CompilationReport:
     """Dependence analysis through emission, each phase barriered.
 
@@ -378,6 +388,8 @@ def _back_half(
                 jobs=jobs,
                 use_cache=use_cache,
                 cache_dir=cache_dir,
+                outcome_cache=outcome_cache,
+                deadline=deadline,
             ),
             lambda: conservative_graph(program),
         )

@@ -155,6 +155,15 @@ RS003 = _register(
 RS004 = _register(
     "RS004", WARNING, "parser recovered at a statement boundary"
 )
+RS005 = _register(
+    "RS005", WARNING, "analysis worker died; request degraded conservatively"
+)
+RS006 = _register(
+    "RS006", WARNING, "request deadline exceeded; conservative answer used"
+)
+RS007 = _register(
+    "RS007", WARNING, "server overloaded; request shed before analysis"
+)
 
 # -- CD: control dependence -----------------------------------------------------
 

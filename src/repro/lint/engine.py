@@ -87,6 +87,8 @@ def lint_source(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    outcome_cache=None,
+    deadline: float | None = None,
 ) -> LintReport:
     """Lint FORTRAN or C source text end to end.
 
@@ -98,7 +100,9 @@ def lint_source(
     errors in the graph passes instead of degrading conservatively.
     ``jobs``/``use_cache``/``cache_dir`` tune the dependence-analysis pass
     (see :func:`repro.depgraph.analyze_dependences`) without changing its
-    result.
+    result.  ``outcome_cache``/``deadline`` are the resident-server knobs
+    (pair-outcome replay and per-request wall-clock deadline; same
+    reference).
 
     Parsing runs in recovery mode: every syntax error in the file becomes
     its own span-carrying ``DL001``, with an ``RS004`` note that the parser
@@ -149,6 +153,7 @@ def lint_source(
         diags += _graph_passes(
             normalized, assumptions, exhaustive_limit, report, ranges,
             audit, schedule, strict, jobs, use_cache, cache_dir,
+            outcome_cache, deadline,
         )
     report.diagnostics = sort_diagnostics(diags)
     return report
@@ -182,6 +187,8 @@ def _graph_passes(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    outcome_cache=None,
+    deadline: float | None = None,
 ) -> list[Diagnostic]:
     """The dependence-graph-backed passes: soundness audit and, on request,
     vectorization plus schedule verification (one graph serves both).
@@ -211,6 +218,8 @@ def _graph_passes(
             jobs=jobs,
             use_cache=use_cache,
             cache_dir=cache_dir,
+            outcome_cache=outcome_cache,
+            deadline=deadline,
         ),
         lambda: conservative_graph(program),
     )

@@ -1,0 +1,25 @@
+"""The resident analysis daemon (``repro serve``).
+
+A long-lived process speaking a versioned JSON-lines protocol over stdio or
+a Unix socket, built so that robustness is an *uptime* property rather than
+a per-compilation one:
+
+* :mod:`repro.server.protocol` — request/response framing and error codes;
+* :mod:`repro.server.incremental` — per-document state: routine-level dirty
+  tracking and the fingerprint-keyed :class:`~repro.server.incremental.OutcomeCache`
+  that makes ``didChange`` re-analysis incremental;
+* :mod:`repro.server.worker` — the subprocess analysis worker (one request
+  at a time, fault-isolated from the daemon);
+* :mod:`repro.server.supervisor` — crash/hang detection, exponential-backoff
+  restarts and the restart-storm circuit breaker;
+* :mod:`repro.server.daemon` — the server itself: admission control,
+  per-request deadlines, degradation accounting and the ``health`` payload;
+* :mod:`repro.server.client` — a small client for tests, benchmarks and CI.
+
+See ``docs/SERVICE.md`` for the protocol schema and operational semantics.
+"""
+
+from .daemon import AnalysisServer, ServerConfig
+from .protocol import PROTOCOL_VERSION
+
+__all__ = ["AnalysisServer", "ServerConfig", "PROTOCOL_VERSION"]

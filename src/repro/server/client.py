@@ -1,0 +1,148 @@
+"""A minimal synchronous client for the daemon (tests, benchmarks, CI).
+
+Responses can arrive out of request order (runner threads interleave), so
+:meth:`ServeClient.request` buffers replies until the matching id shows up.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import time
+
+from .protocol import PROTOCOL_VERSION
+
+
+class ServeClient:
+    """One connection to a running daemon, stdio- or socket-backed."""
+
+    def __init__(self, reader, writer, *, process=None, sock=None):
+        self._reader = reader
+        self._writer = writer
+        self._process = process
+        self._sock = sock
+        self._pending: dict[object, dict] = {}
+        self._next_id = 0
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def spawn_stdio(cls, extra_args: list[str] | None = None, env=None):
+        """Start ``python -m repro serve`` and talk to it over its pipes."""
+        argv = [sys.executable, "-m", "repro", "serve", *(extra_args or [])]
+        process = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        return cls(process.stdout, process.stdin, process=process)
+
+    @classmethod
+    def connect_unix(cls, path: str, timeout: float = 10.0):
+        """Connect to a daemon's Unix socket, retrying until it listens."""
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(path)
+            except OSError as error:
+                last_error = error
+                sock.close()
+                time.sleep(0.05)
+                continue
+            reader = sock.makefile("r", encoding="utf-8")
+            writer = sock.makefile("w", encoding="utf-8", newline="\n")
+            return cls(reader, writer, sock=sock)
+        raise ConnectionError(
+            f"could not connect to {path} within {timeout}s: {last_error}"
+        )
+
+    # -- protocol --------------------------------------------------------------
+
+    def send(self, method: str, params: dict | None = None, *, id=None):
+        """Fire one request without waiting; returns its id."""
+        if id is None:
+            self._next_id += 1
+            id = self._next_id
+        line = json.dumps(
+            {
+                "v": PROTOCOL_VERSION,
+                "id": id,
+                "method": method,
+                "params": params or {},
+            }
+        )
+        self._writer.write(line + "\n")
+        self._writer.flush()
+        return id
+
+    def send_raw(self, line: str) -> None:
+        """Write a raw line (malformed-request tests)."""
+        self._writer.write(line + "\n")
+        self._writer.flush()
+
+    def wait(self, request_id) -> dict:
+        """Block until the response for ``request_id`` arrives."""
+        if request_id in self._pending:
+            return self._pending.pop(request_id)
+        while True:
+            raw = self._reader.readline()
+            if not raw:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(raw)
+            if response.get("id") == request_id:
+                return response
+            self._pending[response.get("id")] = response
+
+    def request(self, method: str, params: dict | None = None) -> dict:
+        """Send one request and wait for its response."""
+        return self.wait(self.send(method, params))
+
+    def result(self, method: str, params: dict | None = None) -> dict:
+        """Like :meth:`request` but unwraps ``result`` (raises on error)."""
+        response = self.request(method, params)
+        if "error" in response:
+            raise RuntimeError(
+                f"{method} failed: {response['error']['code']}: "
+                f"{response['error']['message']}"
+            )
+        return response["result"]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        if self._process is not None:
+            try:
+                self._process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait()
+
+    @property
+    def exit_code(self):
+        """The daemon's exit code (stdio-spawned clients only)."""
+        return None if self._process is None else self._process.poll()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

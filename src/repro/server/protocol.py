@@ -1,0 +1,128 @@
+"""The daemon's wire protocol: versioned JSON lines.
+
+One request or response per line, UTF-8, LSP-flavoured but deliberately
+simpler (no Content-Length framing — a resident *analysis* service talks to
+tooling that can split on newlines).
+
+Request::
+
+    {"v": 1, "id": 7, "method": "lint", "params": {"uri": "a.f"}}
+
+Response (exactly one per request, matched by ``id``)::
+
+    {"v": 1, "id": 7, "result": {...}}
+    {"v": 1, "id": 7, "error": {"code": "overloaded", "message": "..."}}
+
+Methods: ``open``, ``didChange``, ``close``, ``lint``, ``vectorize``,
+``health``, ``shutdown``.  Every malformed line still gets a response (with
+``id: null`` when no id could be recovered) so clients never hang on a bad
+request.  The protocol version is independent of the diagnostics JSON schema
+version embedded in lint results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+PROTOCOL_VERSION = 1
+
+#: Every method the daemon answers.  ``sleep`` is a test-hook method that
+#: only exists when the server was built with ``test_hooks=True`` (never via
+#: the CLI); it is not part of the public surface.
+METHODS = frozenset(
+    {"open", "didChange", "close", "lint", "vectorize", "health", "shutdown"}
+)
+
+# -- error codes ---------------------------------------------------------------
+
+PARSE_ERROR = "parse_error"  # line was not a JSON object
+INVALID_REQUEST = "invalid_request"  # missing/bad v, id, method or params
+UNKNOWN_METHOD = "unknown_method"
+UNKNOWN_DOCUMENT = "unknown_document"  # lint/didChange before open
+OVERLOADED = "overloaded"  # admission control shed the request (RS007)
+SHUTTING_DOWN = "shutting_down"  # request arrived after shutdown
+INTERNAL = "internal"  # daemon-side bug; request still answered
+
+
+class ProtocolError(Exception):
+    """A request that cannot be dispatched; carries the response code."""
+
+    def __init__(self, code: str, message: str, request_id=None):
+        self.code = code
+        self.request_id = request_id
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One parsed, validated request line."""
+
+    id: object  # int or str, echoed verbatim in the response
+    method: str
+    params: dict = field(default_factory=dict)
+
+
+def parse_request(line: str, *, methods: frozenset = METHODS) -> Request:
+    """Parse one line; raises :class:`ProtocolError` with the answer code.
+
+    The id is salvaged whenever the line was at least a JSON object, so the
+    error response can still be matched by the client.
+    """
+    try:
+        obj = json.loads(line)
+    except (ValueError, TypeError):
+        raise ProtocolError(PARSE_ERROR, "line is not valid JSON") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(PARSE_ERROR, "request must be a JSON object")
+    request_id = obj.get("id")
+    if obj.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            INVALID_REQUEST,
+            f"unsupported protocol version {obj.get('v')!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})",
+            request_id,
+        )
+    if request_id is None or not isinstance(request_id, (int, str)):
+        raise ProtocolError(
+            INVALID_REQUEST, "request id must be an int or string", request_id
+        )
+    method = obj.get("method")
+    if not isinstance(method, str) or method not in methods:
+        raise ProtocolError(
+            UNKNOWN_METHOD, f"unknown method {method!r}", request_id
+        )
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            INVALID_REQUEST, "params must be an object", request_id
+        )
+    return Request(request_id, method, params)
+
+
+def render_response(request_id, result: dict) -> str:
+    """One success-response line (no trailing newline)."""
+    return json.dumps(
+        {"v": PROTOCOL_VERSION, "id": request_id, "result": result},
+        sort_keys=True,
+    )
+
+
+def render_error(request_id, code: str, message: str, **extra) -> str:
+    """One error-response line (no trailing newline)."""
+    error = {"code": code, "message": message}
+    error.update(extra)
+    return json.dumps(
+        {"v": PROTOCOL_VERSION, "id": request_id, "error": error},
+        sort_keys=True,
+    )
+
+
+def required_str(params: dict, key: str, request_id) -> str:
+    """Fetch a required string param or raise the protocol error."""
+    value = params.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(
+            INVALID_REQUEST, f"param {key!r} must be a string", request_id
+        )
+    return value

@@ -136,6 +136,89 @@ class TestPersistence:
         assert ProblemCache().load_disk(tmp_path / "nope") == 0
 
 
+class TestCrashSafety:
+    """Corruption quarantine and the concurrent-writer lock (PR 7)."""
+
+    def test_corrupt_file_is_quarantined_and_counted(self, tmp_path):
+        path = persistent_path(tmp_path)
+        path.write_bytes(b"not a pickle")
+        cache = ProblemCache()
+        assert cache.load_disk(tmp_path) == 0
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # deleted: can never poison a later load
+
+    def test_truncated_pickle_is_quarantined(self, tmp_path):
+        good = ProblemCache()
+        key, outcome = entry_for(two_level(const=3))
+        good.store(key, outcome)
+        good.save_disk(tmp_path)
+        path = persistent_path(tmp_path)
+        path.write_bytes(path.read_bytes()[:-7])  # a writer killed mid-write
+        cache = ProblemCache()
+        assert cache.load_disk(tmp_path) == 0
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_wrong_schema_payload_is_quarantined(self, tmp_path):
+        path = persistent_path(tmp_path)
+        path.write_bytes(pickle.dumps(["not", "a", "dict"]))
+        cache = ProblemCache()
+        assert cache.load_disk(tmp_path) == 0
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_quarantine_then_save_recovers(self, tmp_path):
+        persistent_path(tmp_path).write_bytes(b"garbage")
+        cache = ProblemCache()
+        cache.load_disk(tmp_path)
+        key, outcome = entry_for(two_level(const=4))
+        cache.store(key, outcome)
+        assert cache.save_disk(tmp_path) == 1
+        warm = ProblemCache()
+        assert warm.load_disk(tmp_path) == 1
+
+    def test_save_over_corrupt_file_overwrites_it(self, tmp_path):
+        persistent_path(tmp_path).write_bytes(b"garbage")
+        cache = ProblemCache()
+        key, outcome = entry_for(two_level(const=5))
+        cache.store(key, outcome)
+        assert cache.save_disk(tmp_path) == 1
+        assert cache.stats.corrupt == 1
+        assert ProblemCache().load_disk(tmp_path) == 1
+
+    def test_lock_file_guards_the_data_file(self, tmp_path):
+        cache = ProblemCache()
+        key, outcome = entry_for(two_level(const=6))
+        cache.store(key, outcome)
+        cache.save_disk(tmp_path)
+        path = persistent_path(tmp_path)
+        assert path.with_name(path.name + ".lock").exists()
+
+    def test_lock_fault_degrades_to_cold_cache(self, tmp_path):
+        cache = ProblemCache()
+        key, outcome = entry_for(two_level(const=7))
+        cache.store(key, outcome)
+        cache.save_disk(tmp_path)
+        faulty = ProblemCache()
+        with chaos(1, rate=1.0, sites={"server.cache_lock"}):
+            assert faulty.load_disk(tmp_path) == 0
+            assert faulty.save_disk(tmp_path) == 0
+        assert faulty.stats.lock_faults == 2
+        # The on-disk file was untouched by the failed save.
+        assert ProblemCache().load_disk(tmp_path) == 1
+
+    def test_concurrent_style_merge_under_lock(self, tmp_path):
+        writers = []
+        for const in (1, 2, 3):
+            cache = ProblemCache()
+            key, outcome = entry_for(two_level(const=const))
+            cache.store(key, outcome)
+            writers.append(cache)
+        for cache in writers:
+            cache.save_disk(tmp_path)
+        assert ProblemCache().load_disk(tmp_path) == 3
+
+
 class TestBypasses:
     def test_chaos_active_bypasses_the_cache(self):
         cache = ProblemCache()

@@ -128,11 +128,50 @@ class TestEnvActivation:
             )
 
 
+def _serve_one_lint():
+    """Push one open+lint through an in-process daemon's dispatch path."""
+    import json
+
+    from repro.server import AnalysisServer, ServerConfig
+
+    server = AnalysisServer(ServerConfig(workers=1), chaos=active_state())
+    server.start()
+    responses = []
+    try:
+        server._dispatch_line(
+            json.dumps(
+                {
+                    "v": 1,
+                    "id": 1,
+                    "method": "open",
+                    "params": {"uri": "t.f", "text": SOURCES["recurrence"]},
+                }
+            ),
+            responses.append,
+        )
+        server._dispatch_line(
+            json.dumps(
+                {"v": 1, "id": 2, "method": "lint", "params": {"uri": "t.f"}}
+            ),
+            responses.append,
+        )
+        server.drain(30.0)
+    finally:
+        server.stop()
+    return responses
+
+
 def _site_trigger(site, intro_equation):
     """An operation that reaches the given injection site."""
+    import tempfile
+
     from repro.core import delinearize
+    from repro.core.cache import ProblemCache
     from repro.depgraph import analyze_dependences
     from repro.frontend import parse_fortran
+    from repro.server.incremental import Document
+    from repro.server.supervisor import WorkerSlot
+    from repro.server.worker import WorkerWorldview
     from repro.vectorizer import vectorize
 
     program = parse_fortran(SOURCES["recurrence"])
@@ -156,6 +195,16 @@ def _site_trigger(site, intro_equation):
         "schedule.verify": lambda: (
             lambda graph: verify_schedule(vectorize(graph), graph)
         )(analyze_dependences(program)),
+        "server.spawn": lambda: WorkerSlot(WorkerWorldview()).run_job(
+            {"kind": "ping", "id": 1}, 5.0
+        ),
+        "server.dispatch": _serve_one_lint,
+        "server.cache_lock": lambda: ProblemCache().load_disk(
+            tempfile.mkdtemp()
+        ),
+        "server.invalidate": lambda: Document(uri="t.f", text="a").apply_change(
+            "b", 1
+        ),
     }
     return triggers[site]
 

@@ -67,6 +67,28 @@ class TestBudget:
         assert not results[-1]
         assert budget.exhausted
 
+    def test_absolute_deadline_expires_and_is_flagged(self):
+        now = [0.0]
+        budget = Budget(clock=lambda: now[0], deadline=5.0)
+        assert budget.spend()
+        now[0] = 10.0
+        results = [budget.spend() for _ in range(Budget._CLOCK_STRIDE + 1)]
+        assert not results[-1]
+        assert budget.exhausted
+        assert budget.deadline_hit  # servers report this form as RS006
+
+    def test_earlier_of_seconds_and_deadline_wins(self):
+        clock = lambda: 0.0
+        assert Budget(seconds=100.0, clock=clock, deadline=5.0).deadline == 5.0
+        assert Budget(seconds=3.0, clock=clock, deadline=5.0).deadline == 3.0
+        assert Budget(clock=clock, deadline=7.0).deadline == 7.0
+
+    def test_step_exhaustion_is_not_a_deadline_hit(self):
+        budget = Budget(steps=1)
+        assert not budget.spend()
+        assert budget.exhausted
+        assert not budget.deadline_hit
+
     def test_max_depth_refuses_deeper_spends(self):
         budget = Budget(steps=100, max_depth=2)
         budget.depth = 2

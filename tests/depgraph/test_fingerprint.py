@@ -1,0 +1,120 @@
+"""Pair fingerprints: stable across reparse, sensitive to edits, safe to replay."""
+
+import time
+
+from repro.core.chaos import chaos
+from repro.core.resilience import uncovered_edges
+from repro.depgraph import analyze_dependences
+from repro.depgraph.builder import analysis_options_token
+from repro.frontend import parse_fortran
+from repro.server.incremental import OutcomeCache
+
+SOURCE = (
+    "REAL F(0:99), G(0:99)\n"
+    "DO 1 i = 0, 90\n"
+    "F(i+2) = F(i) + 3\n"
+    "1 G(i) = G(i+1) + F(i)\n"
+)
+EDITED = SOURCE.replace("+ 3", "+ 4")
+
+
+def edge_strings(graph):
+    return sorted(str(edge) for edge in graph.edges)
+
+
+class TestReplay:
+    def test_reparse_replays_every_pair(self):
+        cache = OutcomeCache()
+        cold = analyze_dependences(parse_fortran(SOURCE), outcome_cache=cache)
+        total = cache.stats.misses
+        assert total > 0 and cache.stats.hits == 0
+
+        warm_cache = OutcomeCache(cache.export())
+        warm = analyze_dependences(
+            parse_fortran(SOURCE), outcome_cache=warm_cache
+        )
+        assert warm_cache.stats.hits == total
+        assert warm_cache.stats.misses == 0
+        assert edge_strings(warm) == edge_strings(cold)
+
+    def test_edit_invalidates_only_touched_pairs(self):
+        cache = OutcomeCache()
+        analyze_dependences(parse_fortran(SOURCE), outcome_cache=cache)
+
+        warm_cache = OutcomeCache(cache.export())
+        warm = analyze_dependences(
+            parse_fortran(EDITED), outcome_cache=warm_cache
+        )
+        # Pairs not involving the edited statement keep matching...
+        assert warm_cache.stats.hits > 0
+        # ...while every pair that saw it is re-evaluated.
+        assert warm_cache.stats.misses > 0
+        assert edge_strings(warm) == edge_strings(
+            analyze_dependences(parse_fortran(EDITED))
+        )
+
+    def test_chaos_disables_replay_entirely(self):
+        cache = OutcomeCache()
+        analyze_dependences(parse_fortran(SOURCE), outcome_cache=cache)
+        warm_cache = OutcomeCache(cache.export())
+        with chaos(1, rate=0.0):
+            analyze_dependences(
+                parse_fortran(SOURCE), outcome_cache=warm_cache
+            )
+        assert warm_cache.stats.hits == 0
+        assert warm_cache.stats.misses == 0  # never even consulted
+
+
+class TestDeadline:
+    def test_expired_deadline_degrades_and_is_not_replayable(self):
+        from repro.core.cache import clear_all
+
+        # A warm problem cache would answer pairs without spending budget
+        # (replay is free, and a complete replayed answer is legitimately
+        # clean); the deadline only bites work that actually runs.
+        clear_all()
+        cache = OutcomeCache()
+        program = parse_fortran(SOURCE)
+        degraded = analyze_dependences(
+            program,
+            outcome_cache=cache,
+            deadline=time.monotonic() - 1.0,
+        )
+        # Nothing a deadline cut produced may be frozen into replay state.
+        assert cache.stats.stores == 0
+        assert cache.stats.rejected > 0
+        assert len(cache) == 0
+        # The answer is conservative and says why.
+        clean = analyze_dependences(parse_fortran(SOURCE))
+        assert uncovered_edges(degraded, clean) == []
+        assert any(d.code == "RS006" for d in degraded.degradations)
+
+    def test_generous_deadline_changes_nothing(self):
+        clean = analyze_dependences(parse_fortran(SOURCE))
+        timed = analyze_dependences(
+            parse_fortran(SOURCE), deadline=time.monotonic() + 300.0
+        )
+        assert edge_strings(timed) == edge_strings(clean)
+        assert not timed.degradations
+
+
+class TestOptionsToken:
+    def test_every_knob_changes_the_token(self):
+        base = dict(
+            include_input=False,
+            audit=True,
+            derive_bounds=True,
+            pair_budget=1000,
+            strict=False,
+        )
+        tokens = {analysis_options_token(**base)}
+        for knob, value in (
+            ("include_input", True),
+            ("audit", False),
+            ("derive_bounds", False),
+            ("pair_budget", 2000),
+            ("pair_budget", None),
+            ("strict", True),
+        ):
+            tokens.add(analysis_options_token(**{**base, knob: value}))
+        assert len(tokens) == 7

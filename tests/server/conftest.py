@@ -1,0 +1,58 @@
+"""Shared daemon fixtures: socket-served servers and the one-shot oracle."""
+
+import threading
+
+import pytest
+
+from repro.server import AnalysisServer, ServerConfig
+from repro.server.client import ServeClient
+
+
+@pytest.fixture
+def serve_factory(tmp_path):
+    """Start daemons on Unix sockets; tears every one down afterwards."""
+    created = []
+
+    def make(**overrides):
+        overrides.setdefault("test_hooks", True)
+        server = AnalysisServer(ServerConfig(**overrides))
+        path = str(tmp_path / f"serve{len(created)}.sock")
+        thread = threading.Thread(
+            target=server.serve_unix, args=(path,), daemon=True
+        )
+        thread.start()
+        client = ServeClient.connect_unix(path)
+        created.append((server, client, thread))
+        return server, client
+
+    yield make
+    for server, client, thread in created:
+        try:
+            client.close()
+        finally:
+            server._stop.set()
+            thread.join(5.0)
+
+
+@pytest.fixture
+def oracle_lint():
+    """The worker-identical one-shot lint — the byte-identity oracle."""
+
+    def run(text, uri, **options):
+        from repro.cli import _parse_assumptions
+        from repro.lint.diagnostics import render_json
+        from repro.lint.engine import lint_source
+
+        report = lint_source(
+            text,
+            language=options.get("language", "fortran"),
+            assumptions=_parse_assumptions(options.get("assume", "")),
+            audit=options.get("audit", True),
+            ranges=options.get("ranges", True),
+            schedule=options.get("schedule", False),
+            jobs=1,
+            use_cache=True,
+        )
+        return render_json(report.diagnostics, filename=uri)
+
+    return run

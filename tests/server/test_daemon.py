@@ -1,0 +1,211 @@
+"""The daemon end to end: byte-identity, admission control, self-healing."""
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.server import AnalysisServer, ServerConfig
+from repro.server.client import ServeClient
+
+SOURCE = (
+    "REAL F(0:99), G(0:99)\n"
+    "DO 1 i = 0, 90\n"
+    "F(i+2) = F(i) + 3\n"
+    "1 G(i) = G(i+1) + F(i)\n"
+)
+EDITED = SOURCE.replace("+ 3", "+ 4")
+
+
+def open_doc(client, uri="mem.f", text=SOURCE):
+    result = client.result("open", {"uri": uri, "text": text})
+    assert result["ok"]
+
+
+class TestLifecycle:
+    def test_lint_is_byte_identical_to_the_cli(
+        self, serve_factory, oracle_lint
+    ):
+        _, client = serve_factory()
+        open_doc(client)
+        result = client.result("lint", {"uri": "mem.f"})
+        assert result["degraded"] is False
+        assert result["exit"] == 0
+        assert result["output"] == oracle_lint(SOURCE, "mem.f")
+
+    def test_unknown_document_is_an_error(self, serve_factory):
+        _, client = serve_factory()
+        response = client.request("lint", {"uri": "never-opened.f"})
+        assert response["error"]["code"] == "unknown_document"
+
+    def test_malformed_lines_still_get_answers(self, serve_factory):
+        _, client = serve_factory()
+        client.send_raw("this is not json")
+        assert client.wait(None)["error"]["code"] == "parse_error"
+        client.send_raw(json.dumps({"v": 99, "id": 5, "method": "health"}))
+        assert client.wait(5)["error"]["code"] == "invalid_request"
+        client.send_raw(
+            json.dumps({"v": 1, "id": 6, "method": "frobnicate"})
+        )
+        assert client.wait(6)["error"]["code"] == "unknown_method"
+        # The connection survived all three.
+        assert client.result("health")["ok"]
+
+    def test_close_forgets_the_document(self, serve_factory):
+        _, client = serve_factory()
+        open_doc(client)
+        assert client.result("close", {"uri": "mem.f"})["ok"]
+        response = client.request("lint", {"uri": "mem.f"})
+        assert response["error"]["code"] == "unknown_document"
+
+    def test_shutdown_drains_and_reports_counters(self, serve_factory):
+        server, client = serve_factory()
+        open_doc(client)
+        client.result("lint", {"uri": "mem.f"})
+        response = client.shutdown()
+        assert response["result"]["ok"]
+        assert response["result"]["drained"]
+        assert response["result"]["counters"]["responses_ok"] >= 1
+        assert server._stop.is_set()
+
+
+class TestIncremental:
+    def test_did_change_replays_untouched_pairs(
+        self, serve_factory, oracle_lint
+    ):
+        server, client = serve_factory()
+        open_doc(client)
+        client.result("lint", {"uri": "mem.f"})
+        cold = server.health()["counters"]
+        assert cold["evaluated_pairs"] > 0
+        assert cold.get("replayed_pairs", 0) == 0
+
+        change = client.result(
+            "didChange", {"uri": "mem.f", "text": EDITED}
+        )
+        assert change["dirtyRoutines"] == ["<toplevel>"]
+        warm_result = client.result("lint", {"uri": "mem.f"})
+        warm = server.health()["counters"]
+        # Only the edited statement's pairs were re-evaluated...
+        assert warm["replayed_pairs"] > 0
+        assert (
+            warm["evaluated_pairs"] - cold["evaluated_pairs"]
+            < cold["evaluated_pairs"]
+        )
+        # ...and the result is still byte-identical to a cold one-shot run.
+        assert warm_result["output"] == oracle_lint(EDITED, "mem.f")
+
+    def test_repeat_requests_replay_the_rendered_response(self, serve_factory):
+        server, client = serve_factory()
+        open_doc(client)
+        first = client.result("lint", {"uri": "mem.f"})
+        second = client.result("lint", {"uri": "mem.f"})
+        assert second == first
+        assert server.health()["counters"]["replayed_responses"] == 1
+
+    def test_vectorize_round_trip(self, serve_factory):
+        _, client = serve_factory()
+        open_doc(client)
+        result = client.result("vectorize", {"uri": "mem.f"})
+        assert result["degraded"] is False
+        assert "DO" in result["output"]
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_rs007(self, serve_factory):
+        server, client = serve_factory(workers=1, queue_size=1)
+        ids = [
+            client.send("sleep", {"seconds": 0.8}) for _ in range(4)
+        ]
+        responses = [client.wait(request_id) for request_id in ids]
+        shed = [r for r in responses if r.get("error")]
+        served = [r for r in responses if r.get("result")]
+        assert shed, "queue of 1 with 4 requests must shed at least one"
+        assert all(r["error"]["code"] == "overloaded" for r in shed)
+        assert all(r["error"]["rs"] == "RS007" for r in shed)
+        assert served, "the daemon must keep serving while shedding"
+        assert server.health()["counters"]["shed"] == len(shed)
+
+    def test_deadline_timeout_degrades_with_rs006(self, serve_factory):
+        server, client = serve_factory(grace_seconds=0.2)
+        response = client.request(
+            "sleep", {"seconds": 30.0, "deadlineSeconds": 0.2}
+        )
+        result = response["result"]
+        assert result["degraded"] is True
+        assert result["degradedCodes"] == ["RS006"]
+        assert server.health()["counters"]["deadline_timeouts"] == 1
+
+    def test_shutting_down_refuses_new_analysis(self):
+        server = AnalysisServer(ServerConfig())
+        server._shutting_down = True
+        responses = []
+        server._dispatch_line(
+            json.dumps(
+                {"v": 1, "id": 1, "method": "lint", "params": {"uri": "a.f"}}
+            ),
+            responses.append,
+        )
+        assert json.loads(responses[0])["error"]["code"] == "shutting_down"
+
+
+class TestSelfHealing:
+    def test_sigkill_mid_request_degrades_only_that_request(
+        self, serve_factory, oracle_lint
+    ):
+        server, client = serve_factory(backoff_base=0.05)
+        open_doc(client)
+        client.result("lint", {"uri": "mem.f"})  # forces the spawn
+        pid = server.health()["workers"][0]["pid"]
+        assert pid is not None
+
+        victim = client.send("sleep", {"seconds": 30.0})
+        deadline = time.monotonic() + 5.0
+        while server._queue.qsize() > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)  # wait until the runner picked the job up
+        time.sleep(0.1)
+        os.kill(pid, signal.SIGKILL)
+
+        degraded = client.wait(victim)["result"]
+        assert degraded["degraded"] is True
+        assert degraded["degradedCodes"] == ["RS005"]
+
+        time.sleep(0.2)  # ride out the restart backoff
+        change = client.result(
+            "didChange", {"uri": "mem.f", "text": EDITED}
+        )
+        assert change["ok"]
+        healed = client.result("lint", {"uri": "mem.f"})
+        assert healed["degraded"] is False
+        assert healed["output"] == oracle_lint(EDITED, "mem.f")
+
+        health = server.health()
+        assert health["counters"]["worker_deaths"] == 1
+        assert health["workers"][0]["deaths"] == 1
+        assert health["workers"][0]["spawns"] >= 2
+
+    def test_health_reports_liveness_and_protocol(self, serve_factory):
+        _, client = serve_factory(workers=2)
+        health = client.result("health")
+        assert health["ok"]
+        assert health["protocolVersion"] == 1
+        assert health["queueCapacity"] == 16
+        assert len(health["workers"]) == 2
+        assert health["shuttingDown"] is False
+
+
+class TestStdioTransport:
+    def test_spawned_daemon_serves_and_exits_cleanly(self, oracle_lint):
+        root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        with ServeClient.spawn_stdio(env=env) as client:
+            open_doc(client)
+            result = client.result("lint", {"uri": "mem.f"})
+            assert result["output"] == oracle_lint(SOURCE, "mem.f")
+            assert client.result("health")["ok"]
+            assert client.shutdown()["result"]["ok"]
+        assert client.exit_code == 0

@@ -1,0 +1,67 @@
+"""The incremental-correctness oracle: daemon output == cold one-shot lint.
+
+Random edit sequences over generated corpus programs; after every
+``didChange`` the daemon's lint JSON must be byte-identical to a fresh
+``repro lint --format=json`` of the same text.  The edits deliberately
+include ones that break the syntax — the oracle holds for any text.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_program
+
+
+def mutate(text, rng):
+    """One random edit: digit bump, line shuffle, or statement deletion."""
+    lines = text.splitlines()
+    op = rng.choice(("digit", "swap", "drop"))
+    if op == "digit":
+        positions = [
+            (i, j)
+            for i, line in enumerate(lines)
+            for j, ch in enumerate(line)
+            if ch.isdigit()
+        ]
+        if positions:
+            i, j = rng.choice(positions)
+            bumped = str((int(lines[i][j]) + 1) % 10)
+            lines[i] = lines[i][:j] + bumped + lines[i][j + 1 :]
+    elif op == "swap" and len(lines) > 3:
+        i = rng.randrange(1, len(lines) - 1)
+        lines[i], lines[i + 1] = lines[i + 1], lines[i]
+    elif op == "drop" and len(lines) > 2:
+        del lines[rng.randrange(1, len(lines))]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_edit_sequences_stay_byte_identical(
+    seed, serve_factory, oracle_lint
+):
+    rng = random.Random(seed)
+    program = generate_program(
+        f"equiv{seed}", lines=8, linearized_nests=1, seed=seed
+    )
+    _, client = serve_factory()
+    uri = f"{program.name}.f"
+    text = program.source
+    client.result("open", {"uri": uri, "text": text})
+
+    for step in range(4):
+        result = client.result("lint", {"uri": uri})
+        # Generated programs may legitimately degrade (the one-shot run
+        # degrades identically); byte-identity is the invariant.
+        assert result["output"] == oracle_lint(text, uri), (seed, step)
+        if step == 2:
+            # A full-document replacement, not just a local mutation.
+            text = generate_program(
+                f"equiv{seed}r", lines=8, linearized_nests=1, seed=seed + 100
+            ).source
+        else:
+            text = mutate(text, rng)
+        client.result("didChange", {"uri": uri, "text": text})
+
+    final = client.result("lint", {"uri": uri})
+    assert final["output"] == oracle_lint(text, uri)

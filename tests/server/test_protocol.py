@@ -1,0 +1,127 @@
+"""The wire protocol: parsing, rendering, and the everybody-gets-an-answer rule."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    INVALID_REQUEST,
+    METHODS,
+    PARSE_ERROR,
+    PROTOCOL_VERSION,
+    UNKNOWN_METHOD,
+    ProtocolError,
+    parse_request,
+    render_error,
+    render_response,
+    required_str,
+)
+
+
+def line(**overrides):
+    obj = {"v": PROTOCOL_VERSION, "id": 7, "method": "health", "params": {}}
+    obj.update(overrides)
+    return json.dumps(obj)
+
+
+class TestParse:
+    def test_valid_request(self):
+        request = parse_request(
+            line(method="lint", params={"uri": "a.f"})
+        )
+        assert request.id == 7
+        assert request.method == "lint"
+        assert request.params == {"uri": "a.f"}
+
+    def test_params_default_to_empty(self):
+        obj = {"v": PROTOCOL_VERSION, "id": 1, "method": "health"}
+        assert parse_request(json.dumps(obj)).params == {}
+
+    def test_string_ids_are_allowed(self):
+        assert parse_request(line(id="req-1")).id == "req-1"
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request("this is not json")
+        assert excinfo.value.code == PARSE_ERROR
+        assert excinfo.value.request_id is None
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request("[1, 2, 3]")
+        assert excinfo.value.code == PARSE_ERROR
+
+    def test_wrong_version_still_salvages_the_id(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line(v=2))
+        assert excinfo.value.code == INVALID_REQUEST
+        assert excinfo.value.request_id == 7
+
+    def test_missing_id(self):
+        obj = {"v": PROTOCOL_VERSION, "method": "health"}
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(json.dumps(obj))
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_non_scalar_id(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line(id=[1]))
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_unknown_method(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line(method="explode"))
+        assert excinfo.value.code == UNKNOWN_METHOD
+        assert excinfo.value.request_id == 7
+
+    def test_sleep_is_not_public(self):
+        # The test hook only parses when explicitly allowed.
+        with pytest.raises(ProtocolError):
+            parse_request(line(method="sleep"))
+        allowed = METHODS | {"sleep"}
+        assert parse_request(line(method="sleep"), methods=allowed)
+
+    def test_params_must_be_an_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line(params=[1]))
+        assert excinfo.value.code == INVALID_REQUEST
+
+
+class TestRender:
+    def test_response_round_trips(self):
+        raw = render_response(3, {"ok": True})
+        assert "\n" not in raw
+        assert json.loads(raw) == {
+            "v": PROTOCOL_VERSION,
+            "id": 3,
+            "result": {"ok": True},
+        }
+
+    def test_error_round_trips_with_extras(self):
+        raw = render_error(None, "overloaded", "queue full", rs="RS007")
+        assert json.loads(raw) == {
+            "v": PROTOCOL_VERSION,
+            "id": None,
+            "error": {
+                "code": "overloaded",
+                "message": "queue full",
+                "rs": "RS007",
+            },
+        }
+
+    def test_rendering_is_deterministic(self):
+        a = render_response(1, {"b": 1, "a": 2})
+        b = render_response(1, {"a": 2, "b": 1})
+        assert a == b  # sort_keys: byte-identity survives dict ordering
+
+
+class TestRequiredStr:
+    def test_present(self):
+        assert required_str({"uri": "a.f"}, "uri", 1) == "a.f"
+
+    def test_missing_or_wrong_type(self):
+        for params in ({}, {"uri": 7}):
+            with pytest.raises(ProtocolError) as excinfo:
+                required_str(params, "uri", 9)
+            assert excinfo.value.code == INVALID_REQUEST
+            assert excinfo.value.request_id == 9

@@ -1,0 +1,154 @@
+"""Worker supervision: backoff arithmetic, crash/hang detection, the breaker."""
+
+import time
+
+import pytest
+
+from repro.core.chaos import chaos
+from repro.server.supervisor import RestartPolicy, WorkerSlot
+from repro.server.worker import WorkerWorldview
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestRestartPolicy:
+    def test_backoff_doubles_per_consecutive_failure(self):
+        policy = RestartPolicy(base_delay=0.05, clock=FakeClock())
+        assert [policy.note_failure() for _ in range(3)] == [
+            0.05,
+            0.1,
+            0.2,
+        ]
+
+    def test_backoff_is_capped(self):
+        policy = RestartPolicy(base_delay=1.0, max_delay=2.0, clock=FakeClock())
+        assert [policy.note_failure() for _ in range(4)] == [1.0, 2.0, 2.0, 2.0]
+
+    def test_success_resets_the_exponent(self):
+        policy = RestartPolicy(base_delay=0.05, clock=FakeClock())
+        policy.note_failure()
+        policy.note_failure()
+        policy.note_success()
+        assert policy.note_failure() == 0.05
+
+    def test_can_spawn_waits_out_the_backoff(self):
+        clock = FakeClock()
+        policy = RestartPolicy(base_delay=0.5, clock=clock)
+        policy.note_failure()
+        assert not policy.can_spawn()
+        clock.advance(0.6)
+        assert policy.can_spawn()
+
+    def test_storm_trips_the_breaker(self):
+        clock = FakeClock()
+        policy = RestartPolicy(
+            base_delay=0.0,
+            storm_threshold=3,
+            storm_window=10.0,
+            cooldown=5.0,
+            clock=clock,
+        )
+        for _ in range(3):
+            policy.note_failure()
+            clock.advance(1.0)
+        assert policy.breaker_open()
+        assert policy.breaker_trips == 1
+        assert not policy.can_spawn()
+        clock.advance(5.0)
+        assert not policy.breaker_open()
+        assert policy.can_spawn()
+
+    def test_spread_out_deaths_do_not_storm(self):
+        clock = FakeClock()
+        policy = RestartPolicy(
+            base_delay=0.0, storm_threshold=3, storm_window=10.0, clock=clock
+        )
+        for _ in range(5):
+            policy.note_failure()
+            clock.advance(20.0)  # each death ages out of the window
+        assert policy.breaker_trips == 0
+        assert not policy.breaker_open()
+
+
+class TestWorkerSlot:
+    @pytest.fixture
+    def slot(self):
+        slot = WorkerSlot(
+            WorkerWorldview(), RestartPolicy(base_delay=0.01, max_delay=0.05)
+        )
+        yield slot
+        slot.close()
+
+    def test_ping_spawns_and_answers(self, slot):
+        status, payload = slot.run_job({"kind": "ping", "id": 1}, 10.0)
+        assert status == "ok"
+        assert payload["pong"]
+        assert slot.alive()
+        assert slot.pid is not None
+        assert slot.spawns == 1
+
+    def test_crash_is_detected_as_a_death(self, slot):
+        status, payload = slot.run_job({"kind": "crash", "id": 1}, 10.0)
+        assert status == "died"
+        assert not slot.alive()
+        assert slot.policy.total_deaths == 1
+
+    def test_backoff_window_reports_unavailable(self):
+        slot = WorkerSlot(
+            WorkerWorldview(), RestartPolicy(base_delay=30.0)
+        )
+        try:
+            assert slot.run_job({"kind": "crash", "id": 1}, 10.0)[0] == "died"
+            status, _ = slot.run_job({"kind": "ping", "id": 2}, 10.0)
+            assert status == "unavailable"
+            assert slot.spawns == 1  # no spawn was even attempted
+        finally:
+            slot.close()
+
+    def test_respawn_after_the_backoff(self, slot):
+        slot.run_job({"kind": "crash", "id": 1}, 10.0)
+        time.sleep(0.05)
+        status, payload = slot.run_job({"kind": "ping", "id": 2}, 10.0)
+        assert status == "ok" and payload["pong"]
+        assert slot.spawns == 2
+
+    def test_hang_is_killed_and_reported_as_timeout(self, slot):
+        status, _ = slot.run_job(
+            {"kind": "sleep", "id": 1, "seconds": 30.0}, 0.3
+        )
+        assert status == "timeout"
+        assert not slot.alive()  # the hung process was killed
+        assert slot.policy.total_deaths == 1
+
+    def test_spawn_fault_reports_unavailable(self):
+        slot = WorkerSlot(WorkerWorldview(), RestartPolicy(base_delay=0.01))
+        try:
+            with chaos(1, rate=1.0, sites={"server.spawn"}):
+                status, _ = slot.run_job({"kind": "ping", "id": 1}, 10.0)
+            assert status == "unavailable"
+            assert slot.policy.total_deaths == 1
+        finally:
+            slot.close()
+
+    def test_dead_idle_worker_is_replaced_transparently(self, slot):
+        import os
+        import signal
+
+        slot.run_job({"kind": "ping", "id": 1}, 10.0)
+        os.kill(slot.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while slot.alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # The death happened between requests: the next job just respawns.
+        status, payload = slot.run_job({"kind": "ping", "id": 2}, 10.0)
+        assert status == "ok" and payload["pong"]
+        assert slot.spawns == 2

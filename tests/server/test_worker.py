@@ -1,0 +1,105 @@
+"""The in-worker job executor: CLI byte-identity and error containment."""
+
+from repro.server.incremental import OutcomeCache
+from repro.server.worker import WorkerWorldview, execute_job
+
+SOURCE = (
+    "REAL F(0:99), G(0:99)\n"
+    "DO 1 i = 0, 90\n"
+    "F(i+2) = F(i) + 3\n"
+    "1 G(i) = G(i+1) + F(i)\n"
+)
+
+
+def lint_job(text=SOURCE, *, job_id=1, entries=None):
+    job = {"kind": "lint", "id": job_id, "uri": "mem.f", "text": text}
+    if entries is not None:
+        job["entries"] = entries
+    return job
+
+
+class TestExecuteJob:
+    def test_ping(self):
+        assert execute_job({"kind": "ping", "id": 5}, WorkerWorldview()) == {
+            "id": 5,
+            "ok": True,
+            "pong": True,
+        }
+
+    def test_unknown_kind_is_reported_not_raised(self):
+        payload = execute_job({"kind": "explode", "id": 1}, WorkerWorldview())
+        assert payload["ok"] is False
+        assert "explode" in payload["error"]
+
+    def test_lint_output_matches_the_one_shot_cli(self, oracle_lint):
+        payload = execute_job(lint_job(), WorkerWorldview())
+        assert payload["ok"]
+        assert payload["result"]["output"] == oracle_lint(SOURCE, "mem.f")
+        assert payload["result"]["degraded"] is False
+        assert payload["stats"]["evaluatedPairs"] > 0
+        assert payload["entries"]  # clean outcomes shipped back for replay
+
+    def test_second_run_replays_every_pair(self, oracle_lint):
+        first = execute_job(lint_job(), WorkerWorldview())
+        second = execute_job(
+            lint_job(job_id=2, entries=first["entries"]), WorkerWorldview()
+        )
+        assert second["stats"]["evaluatedPairs"] == 0
+        assert second["stats"]["replayedPairs"] == (
+            first["stats"]["evaluatedPairs"]
+        )
+        assert second["result"]["output"] == first["result"]["output"]
+
+    def test_unparsable_lint_still_answers(self):
+        payload = execute_job(lint_job("DO 1 i = ,,,\n"), WorkerWorldview())
+        assert payload["ok"]  # lint recovers; diagnostics carry the error
+        assert payload["result"]["exit"] == 2
+
+    def test_vectorize_failure_is_contained(self):
+        job = {
+            "kind": "vectorize",
+            "id": 1,
+            "uri": "mem.f",
+            "text": "DO 1 i = ,,,\n",
+        }
+        payload = execute_job(job, WorkerWorldview())
+        assert payload["ok"] is False
+        assert payload["error"]
+
+    def test_vectorize_output_matches_the_one_shot_cli(self):
+        from repro.cli import _parse_assumptions
+        from repro.driver import compile_fortran
+        from repro.vectorizer import emit_program
+
+        job = {"kind": "vectorize", "id": 1, "uri": "mem.f", "text": SOURCE}
+        payload = execute_job(job, WorkerWorldview())
+        assert payload["ok"]
+        report = compile_fortran(SOURCE, _parse_assumptions(""))
+        expected = emit_program(report.plan) + "".join(
+            f"{line}\n"
+            for line in map(
+                str, (*report.schedule_diagnostics, *report.degradations)
+            )
+        )
+        assert payload["result"]["output"] == expected
+
+    def test_chaos_requests_bypass_outcome_replay(self):
+        # A chaos-configured worker must not consult stored outcomes:
+        # replaying would skip injection sites and break seeded determinism.
+        clean = execute_job(lint_job(), WorkerWorldview())
+        chaotic = execute_job(
+            lint_job(job_id=2, entries=clean["entries"]),
+            WorkerWorldview(chaos_seed=1, chaos_rate=0.0),
+        )
+        assert chaotic["ok"]
+        assert chaotic["entries"] is None
+        assert chaotic["stats"]["replayedPairs"] == 0
+
+
+class TestOutcomeCachePlumbing:
+    def test_exported_entries_round_trip_through_a_dict(self):
+        # The daemon ships entries over a multiprocessing pipe; the worker
+        # must accept exactly what export() produced.
+        first = execute_job(lint_job(), WorkerWorldview())
+        cache = OutcomeCache(first["entries"])
+        assert len(cache) == len(first["entries"])
